@@ -1,0 +1,135 @@
+//! Micro-benchmarks of the wire codecs on the hot path of every
+//! simulated packet (and of any real port of this stack).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mindgap_ble::channels::{csa2_channel, ChannelMap};
+use mindgap_ble::pdu::{DataPdu, Llid};
+use mindgap_coap::{Code, Message, MsgType};
+use mindgap_l2cap::{BufPool, CocChannel, CocConfig};
+use mindgap_net::{udp, Ipv6Addr, Ipv6Header, NextHeader};
+use mindgap_sixlowpan::{iphc, LinkContext, LlAddr};
+
+fn paper_packet() -> (Vec<u8>, LinkContext) {
+    let src = Ipv6Addr::of_node(7);
+    let dst = Ipv6Addr::of_node(3);
+    let msg = Message::request(MsgType::NonConfirmable, Code::GET, 7, b"tok1")
+        .with_path_segment("bench")
+        .with_payload(vec![0xA5; 39]);
+    let dgram = udp::encode(&src, &dst, 5683, 5683, &msg.encode());
+    let packet = Ipv6Header::build_packet(NextHeader::Udp, src, dst, &dgram);
+    let ctx = LinkContext {
+        src: LlAddr::from_node_index(7),
+        dst: LlAddr::from_node_index(3),
+    };
+    (packet, ctx)
+}
+
+fn bench_iphc(c: &mut Criterion) {
+    let (packet, ctx) = paper_packet();
+    let frame = iphc::encode_frame(&packet, &ctx);
+    let mut g = c.benchmark_group("iphc");
+    g.throughput(Throughput::Bytes(packet.len() as u64));
+    g.bench_function("compress_100B", |b| {
+        b.iter(|| iphc::encode_frame(black_box(&packet), black_box(&ctx)))
+    });
+    g.bench_function("decompress_100B", |b| {
+        b.iter(|| iphc::decode_frame(black_box(&frame), black_box(&ctx)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_coap(c: &mut Criterion) {
+    let msg = Message::request(MsgType::NonConfirmable, Code::GET, 7, b"tok1")
+        .with_path_segment("bench")
+        .with_payload(vec![0xA5; 39]);
+    let enc = msg.encode();
+    let mut g = c.benchmark_group("coap");
+    g.bench_function("encode", |b| b.iter(|| black_box(&msg).encode()));
+    g.bench_function("decode", |b| {
+        b.iter(|| Message::decode(black_box(&enc)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_udp(c: &mut Criterion) {
+    let src = Ipv6Addr::of_node(1);
+    let dst = Ipv6Addr::of_node(2);
+    let payload = vec![0x5Au8; 62];
+    let dgram = udp::encode(&src, &dst, 5683, 5683, &payload);
+    let mut g = c.benchmark_group("udp");
+    g.throughput(Throughput::Bytes(dgram.len() as u64));
+    g.bench_function("encode_with_checksum", |b| {
+        b.iter(|| udp::encode(black_box(&src), black_box(&dst), 5683, 5683, black_box(&payload)))
+    });
+    g.bench_function("decode_verify", |b| {
+        b.iter(|| udp::decode(black_box(&src), black_box(&dst), black_box(&dgram)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_l2cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l2cap");
+    g.bench_function("sdu_segment_reassemble_1024B", |b| {
+        b.iter(|| {
+            let cfg = CocConfig::default();
+            let mut a = CocChannel::symmetric(cfg, 0x40, 0x41);
+            let mut rx = CocChannel::symmetric(cfg, 0x41, 0x40);
+            let mut pool = BufPool::new(1 << 16);
+            a.send_sdu(vec![0xDA; 1024], &mut pool).unwrap();
+            let mut out = None;
+            while let Some(pdu) = a.next_pdu(251, &mut pool) {
+                let dec = mindgap_l2cap::frame::decode_basic(&pdu).unwrap();
+                if let Some(sdu) = rx.on_pdu(dec.payload).unwrap() {
+                    out = Some(sdu);
+                }
+                let back = rx.credits_to_return();
+                if back > 0 {
+                    a.grant(back);
+                }
+            }
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ble_pdu(c: &mut Criterion) {
+    let pdu = DataPdu {
+        llid: Llid::DataStart,
+        nesn: true,
+        sn: false,
+        md: true,
+        payload: vec![0xAB; 113],
+    };
+    let enc = pdu.encode();
+    let mut g = c.benchmark_group("ble_pdu");
+    g.bench_function("encode_115B", |b| b.iter(|| black_box(&pdu).encode()));
+    g.bench_function("decode_115B", |b| {
+        b.iter(|| DataPdu::decode(black_box(&enc)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_csa2(c: &mut Criterion) {
+    let map = ChannelMap::all_except_jammed();
+    c.bench_function("csa2_channel_select", |b| {
+        let mut ev = 0u16;
+        b.iter(|| {
+            ev = ev.wrapping_add(1);
+            csa2_channel(black_box(0x5713_9AD6), ev, map)
+        })
+    });
+}
+
+criterion_group!(
+    codecs,
+    bench_iphc,
+    bench_coap,
+    bench_udp,
+    bench_l2cap,
+    bench_ble_pdu,
+    bench_csa2
+);
+criterion_main!(codecs);

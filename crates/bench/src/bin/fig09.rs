@@ -1,0 +1,114 @@
+//! Figure 9 — high network load and slow connection intervals.
+//!
+//! (a) Producer interval 100 ms ±50 ms, connection interval 75 ms:
+//!     the offered load exceeds parts of the tree's capacity; packet
+//!     buffers overflow; the PDR is unevenly distributed across
+//!     producers (paper: average ≈75 %).
+//! (b) Connection interval 2 s, producer interval 1 s ±0.5 s: burst
+//!     transfers at each event overwhelm buffers; PDR drops further
+//!     (paper Fig. 9b shows a fluctuating average around ≈50 %).
+
+use mindgap_bench::{banner, pct, write_csv, Opts};
+use mindgap_core::IntervalPolicy;
+use mindgap_sim::{Duration, NodeId};
+use mindgap_testbed::stats;
+use mindgap_testbed::{run_ble, ExperimentSpec, Topology};
+
+fn main() {
+    let opts = Opts::parse();
+    banner("Figure 9", "High load and slow connection intervals (tree)", &opts);
+    let duration = if opts.full {
+        Duration::from_secs(3600)
+    } else {
+        Duration::from_secs(600)
+    };
+
+    // ---- (a) high load ----
+    let spec = ExperimentSpec::paper_default(
+        Topology::paper_tree(),
+        IntervalPolicy::Static(Duration::from_millis(75)),
+        opts.seed,
+    )
+    .with_duration(duration)
+    .with_producer_interval(Duration::from_millis(100));
+    let res = run_ble(&spec);
+    let r = &res.records;
+    println!("\nFig 9(a): producer 100 ms ±50 ms, connection interval 75 ms");
+    println!(
+        "average CoAP PDR: {}   (paper: ≈75%)   mbuf-pool drops: {}",
+        pct(r.coap_pdr()),
+        res.pool_drops
+    );
+    println!(
+        "connection losses: {}   reconnects: {}   stack drops: {:?}",
+        res.conn_losses, res.reconnects, r.drops
+    );
+    println!("per-node PDR (uneven distribution is the point, Fig. 9a heatmap):");
+    let mut rows = Vec::new();
+    for n in 1..15u16 {
+        let series = r.coap_pdr_series_for(NodeId(n));
+        let avg = stats::mean(&series).unwrap_or(1.0);
+        println!("  node {n:>2}: {} {}", stats::bar(avg), pct(avg));
+        rows.push(format!(
+            "{n},{avg:.4},{}",
+            series
+                .iter()
+                .map(|v| format!("{v:.3}"))
+                .collect::<Vec<_>>()
+                .join(";")
+        ));
+    }
+    write_csv(&opts, "fig09a_per_node_pdr.csv", "node,avg_pdr,series", &rows);
+    let series = r.coap_pdr_series();
+    write_csv(
+        &opts,
+        "fig09a_avg_pdr_series.csv",
+        "bucket,pdr",
+        &series
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{i},{p:.4}"))
+            .collect::<Vec<_>>(),
+    );
+
+    // ---- (b) slow connection interval ----
+    let spec = ExperimentSpec::paper_default(
+        Topology::paper_tree(),
+        IntervalPolicy::Static(Duration::from_secs(2)),
+        opts.seed,
+    )
+    .with_duration(duration);
+    let res_b = run_ble(&spec);
+    let rb = &res_b.records;
+    println!("\nFig 9(b): connection interval 2000 ms, producer 1 s ±0.5 s");
+    println!(
+        "average CoAP PDR: {}   (paper: below the 75% of Fig. 9a, ≈50%)",
+        pct(rb.coap_pdr())
+    );
+    println!("  mbuf-pool drops: {}   (burst traffic at each event)", res_b.pool_drops);
+    let series_b = rb.coap_pdr_series();
+    for (i, p) in series_b.iter().enumerate() {
+        println!(
+            "  t={:>5}s  {}  {}",
+            i as u64 * rb.bucket.millis() / 1000,
+            stats::bar(*p),
+            pct(*p)
+        );
+    }
+    write_csv(
+        &opts,
+        "fig09b_avg_pdr_series.csv",
+        "bucket,pdr",
+        &series_b
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{i},{p:.4}"))
+            .collect::<Vec<_>>(),
+    );
+
+    println!("\nShape checks vs paper:");
+    println!("  * 9(a): load ≈45% of single-link capacity already loses packets —");
+    println!("    buffers at bottleneck subtrees overflow; PDR varies per producer;");
+    println!("  * 9(b): slower connection interval turns smooth traffic into");
+    println!("    bursts and loses more, despite the lower per-event load.");
+}

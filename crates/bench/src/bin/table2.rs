@@ -1,0 +1,14 @@
+//! Table 2 — open-source IP-over-BLE implementations.
+
+use mindgap_bench::{banner, Opts};
+use mindgap_testbed::tables;
+
+fn main() {
+    let opts = Opts::parse();
+    banner("Table 2", "Open source IP over BLE implementations", &opts);
+    print!("{}", tables::render_table2());
+    println!();
+    println!("Only the paper's RIOT+NimBLE platform supported multi-hop IP");
+    println!("over BLE at publication time; this repository reproduces that");
+    println!("capability in simulation.");
+}

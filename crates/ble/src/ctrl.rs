@@ -1,0 +1,184 @@
+//! LL control PDUs (Core Spec Vol 6 Part B §2.4.2).
+//!
+//! The paper's §6.3 design-space discussion weighs two standard
+//! mechanisms against its randomization proposal: the *connection
+//! update* procedure (change the interval on the fly) and the
+//! *channel map update* (adaptive frequency hopping). Both ride on
+//! LL control PDUs, implemented here: the opcode byte plus CtrData,
+//! carried in a data-channel PDU with `LLID = 0b11`.
+//!
+//! Updates take effect at an *instant*: an event-counter value ≥ 6
+//! events in the future, giving the ARQ time to deliver the PDU before
+//! both sides switch parameters simultaneously.
+
+use mindgap_sim::Duration;
+
+use crate::channels::ChannelMap;
+
+/// Opcode of LL_CONNECTION_UPDATE_IND.
+pub const OP_CONN_UPDATE_IND: u8 = 0x00;
+/// Opcode of LL_CHANNEL_MAP_IND.
+pub const OP_CHANNEL_MAP_IND: u8 = 0x01;
+
+/// Minimum lead (in connection events) before an update instant.
+pub const MIN_INSTANT_LEAD: u16 = 6;
+
+/// Decoded LL control PDUs (the subset the experiments exercise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlPdu {
+    /// LL_CONNECTION_UPDATE_IND: switch the connection interval (and
+    /// shift the anchor by `win_offset`) at event `instant`.
+    ConnUpdateInd {
+        /// Anchor shift applied at the instant.
+        win_offset: Duration,
+        /// New connection interval.
+        interval: Duration,
+        /// Event counter at which the update applies.
+        instant: u16,
+    },
+    /// LL_CHANNEL_MAP_IND: switch to `map` at event `instant`.
+    ChannelMapInd {
+        /// The new channel map.
+        map: ChannelMap,
+        /// Event counter at which the update applies.
+        instant: u16,
+    },
+}
+
+impl ControlPdu {
+    /// Encode into a control-PDU payload (opcode + CtrData). Layout
+    /// follows the spec's field order with 1.25 ms units for times.
+    pub fn encode(&self) -> Vec<u8> {
+        match *self {
+            ControlPdu::ConnUpdateInd {
+                win_offset,
+                interval,
+                instant,
+            } => {
+                let mut v = Vec::with_capacity(12);
+                v.push(OP_CONN_UPDATE_IND);
+                v.push(1); // WinSize (1.25 ms units) — fixed minimal
+                v.extend_from_slice(&((win_offset.micros() / 1250) as u16).to_le_bytes());
+                v.extend_from_slice(&((interval.micros() / 1250) as u16).to_le_bytes());
+                v.extend_from_slice(&0u16.to_le_bytes()); // latency
+                v.extend_from_slice(&0u16.to_le_bytes()); // timeout (kept)
+                v.extend_from_slice(&instant.to_le_bytes());
+                v
+            }
+            ControlPdu::ChannelMapInd { map, instant } => {
+                let mut v = Vec::with_capacity(8);
+                v.push(OP_CHANNEL_MAP_IND);
+                let mask = map_to_mask(map);
+                v.extend_from_slice(&mask[..5]);
+                v.extend_from_slice(&instant.to_le_bytes());
+                v
+            }
+        }
+    }
+
+    /// Decode a control-PDU payload.
+    pub fn decode(bytes: &[u8]) -> Option<ControlPdu> {
+        match *bytes.first()? {
+            OP_CONN_UPDATE_IND => {
+                if bytes.len() != 12 {
+                    return None;
+                }
+                let u16_at = |i: usize| u16::from_le_bytes([bytes[i], bytes[i + 1]]);
+                Some(ControlPdu::ConnUpdateInd {
+                    win_offset: Duration::from_micros(u16_at(2) as u64 * 1250),
+                    interval: Duration::from_micros(u16_at(4) as u64 * 1250),
+                    instant: u16_at(10),
+                })
+            }
+            OP_CHANNEL_MAP_IND => {
+                if bytes.len() != 8 {
+                    return None;
+                }
+                let mut mask = 0u64;
+                for (i, b) in bytes[1..6].iter().enumerate() {
+                    mask |= (*b as u64) << (8 * i);
+                }
+                mask &= (1 << 37) - 1;
+                if mask.count_ones() < 2 {
+                    return None;
+                }
+                Some(ControlPdu::ChannelMapInd {
+                    map: ChannelMap::from_mask(mask),
+                    instant: u16::from_le_bytes([bytes[6], bytes[7]]),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn map_to_mask(map: ChannelMap) -> [u8; 5] {
+    let mut mask = [0u8; 5];
+    for ch in 0..37u8 {
+        if map.contains(ch) {
+            mask[(ch / 8) as usize] |= 1 << (ch % 8);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conn_update_roundtrip() {
+        let pdu = ControlPdu::ConnUpdateInd {
+            win_offset: Duration::from_micros(12_500),
+            interval: Duration::from_millis(80),
+            instant: 1234,
+        };
+        assert_eq!(ControlPdu::decode(&pdu.encode()), Some(pdu));
+    }
+
+    #[test]
+    fn channel_map_roundtrip() {
+        let map = ChannelMap::all_except_jammed().without(5).without(17);
+        let pdu = ControlPdu::ChannelMapInd { map, instant: 77 };
+        assert_eq!(ControlPdu::decode(&pdu.encode()), Some(pdu));
+    }
+
+    #[test]
+    fn full_map_roundtrip() {
+        let pdu = ControlPdu::ChannelMapInd {
+            map: ChannelMap::ALL,
+            instant: u16::MAX,
+        };
+        assert_eq!(ControlPdu::decode(&pdu.encode()), Some(pdu));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(ControlPdu::decode(&[]), None);
+        assert_eq!(ControlPdu::decode(&[0xFF, 0, 0]), None);
+        assert_eq!(ControlPdu::decode(&[OP_CONN_UPDATE_IND, 0, 0]), None);
+        // A channel map with < 2 channels is invalid.
+        let mut bad = ControlPdu::ChannelMapInd {
+            map: ChannelMap::ALL,
+            instant: 0,
+        }
+        .encode();
+        for b in &mut bad[1..6] {
+            *b = 0;
+        }
+        bad[1] = 1;
+        assert_eq!(ControlPdu::decode(&bad), None);
+    }
+
+    #[test]
+    fn quantization_is_1250us() {
+        let pdu = ControlPdu::ConnUpdateInd {
+            win_offset: Duration::from_micros(1_250),
+            interval: Duration::from_micros(7_500),
+            instant: 6,
+        };
+        let enc = pdu.encode();
+        assert_eq!(u16::from_le_bytes([enc[2], enc[3]]), 1);
+        assert_eq!(u16::from_le_bytes([enc[4], enc[5]]), 6);
+    }
+}

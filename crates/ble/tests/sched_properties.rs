@@ -1,0 +1,90 @@
+//! Property-based tests of the radio reservation timeline — the
+//! arbiter at the heart of connection shading.
+
+use proptest::prelude::*;
+
+use mindgap_ble::sched::{RadioScheduler, ResKind};
+use mindgap_ble::ConnId;
+use mindgap_sim::Instant;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Book { start: u64, len: u64, conn: u8 },
+    RemoveConn { conn: u8 },
+    Purge { at: u64 },
+    PreemptNonConn { start: u64, len: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..10_000, 1u64..500, 0u8..6).prop_map(|(start, len, conn)| Op::Book {
+            start,
+            len,
+            conn
+        }),
+        (0u8..6).prop_map(|conn| Op::RemoveConn { conn }),
+        (0u64..10_000).prop_map(|at| Op::Purge { at }),
+        (0u64..10_000, 1u64..500).prop_map(|(start, len)| Op::PreemptNonConn { start, len }),
+    ]
+}
+
+proptest! {
+    /// Under any operation sequence, no two live reservations overlap
+    /// and successful bookings really were free.
+    #[test]
+    fn reservations_never_overlap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut sched = RadioScheduler::new();
+        // Shadow model: list of (start, end) we believe are booked.
+        let mut shadow: Vec<(u64, u64, Option<u8>)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Book { start, len, conn } => {
+                    let (s, e) = (start, start + len);
+                    let kind = if conn == 0 {
+                        ResKind::Scan
+                    } else if conn == 1 {
+                        ResKind::Adv
+                    } else {
+                        ResKind::ConnEvent(ConnId(conn as u64))
+                    };
+                    let free = !shadow.iter().any(|&(a, b, _)| a < e && s < b);
+                    let got = sched
+                        .try_book(Instant::from_nanos(s), Instant::from_nanos(e), kind)
+                        .is_ok();
+                    prop_assert_eq!(got, free, "booking [{},{}) vs shadow {:?}", s, e, shadow);
+                    if got {
+                        let tag = if conn >= 2 { Some(conn) } else { None };
+                        shadow.push((s, e, tag));
+                    }
+                }
+                Op::RemoveConn { conn } => {
+                    sched.remove_conn(ConnId(conn as u64));
+                    shadow.retain(|&(_, _, t)| t != Some(conn));
+                }
+                Op::Purge { at } => {
+                    sched.purge_before(Instant::from_nanos(at));
+                    shadow.retain(|&(_, e, _)| e > at);
+                }
+                Op::PreemptNonConn { start, len } => {
+                    let (s, e) = (start, start + len);
+                    let any_conn_overlaps = shadow
+                        .iter()
+                        .any(|&(a, b, t)| t.is_some() && a < e && s < b);
+                    let res = sched.preempt_non_conn(
+                        Instant::from_nanos(s),
+                        Instant::from_nanos(e),
+                    );
+                    if any_conn_overlaps {
+                        prop_assert!(res.is_none(), "must refuse to preempt connections");
+                    } else if let Some(victims) = res {
+                        for v in victims {
+                            prop_assert!(v.kind.conn().is_none());
+                        }
+                        shadow.retain(|&(a, b, t)| !(t.is_none() && a < e && s < b));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(sched.len(), shadow.len());
+    }
+}

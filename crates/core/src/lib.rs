@@ -1,0 +1,43 @@
+//! # mindgap-core — the paper's contribution, assembled
+//!
+//! This crate is the analogue of the paper's software platform (§3):
+//! it glues the BLE link layer (`mindgap-ble`), L2CAP channels
+//! (`mindgap-l2cap`), the 6LoWPAN adaptation (`mindgap-sixlowpan`),
+//! the IPv6 stack (`mindgap-net`) and CoAP (`mindgap-coap`) into full
+//! nodes — the role `nimble_netif` plays in RIOT — and runs them in a
+//! simulated testbed:
+//!
+//! * [`Statconn`] — the static connection manager of §3, including the
+//!   §6.3 mitigation: randomized, per-node-unique connection intervals
+//!   with subordinate-side collision rejection.
+//! * [`World`] — the discrete-event testbed: BLE medium, per-node
+//!   clocks with drift, the full packet path from a CoAP producer
+//!   through 6LoWPAN/L2CAP/LL to the consumer and back, plus the
+//!   measurement records every experiment consumes.
+//! * [`IeeeWorld`] — the same upper stack over the IEEE 802.15.4
+//!   CSMA/CA MAC (`mindgap-dot15d4`), the paper's §5.3 baseline.
+//!
+//! The worlds are deterministic: a master seed fixes every random
+//! draw (clock drift assignment, producer jitter, backoffs,
+//! advertising delays, channel errors).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ieee;
+mod records;
+pub mod rpl;
+mod statconn;
+mod world;
+
+
+pub use ieee::{IeeeConfig, IeeeWorld};
+pub use records::{LinkStats, Records, RttSample};
+pub use statconn::{EdgeConfig, EdgeRole, IntervalPolicy, ScAction, Statconn};
+pub use world::{AppConfig, NodeConfig, World, WorldConfig};
+
+/// CoAP resource path used by the paper's producer/consumer benchmark.
+pub const BENCH_PATH: &str = "/bench";
+
+/// The paper's CoAP request payload size (§4.3).
+pub const COAP_PAYLOAD: usize = 39;

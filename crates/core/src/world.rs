@@ -1,0 +1,1017 @@
+//! The simulated BLE testbed.
+//!
+//! [`World`] owns everything one experiment needs: the shared radio
+//! medium, one full node stack per board (link layer, L2CAP channel
+//! per connection, NimBLE-sized mbuf pool, 6LoWPAN, IPv6 router, CoAP
+//! endpoints, statconn), the event queue, and the measurement
+//! [`Records`].
+//!
+//! The data path reproduces the paper's Fig. 2/Fig. 5 stack exactly:
+//!
+//! ```text
+//! CoAP ─ UDP ─ IPv6 (static routes) ─ 6LoWPAN IPHC ─ L2CAP CoC
+//!   (credit flow control, mbuf pool) ─ LL queue ─ connection events
+//! ```
+//!
+//! Packets are dropped in precisely the places the paper identifies:
+//! the mbuf pool when links are slower than the offered load (§5.2),
+//! and the absence of a live connection while statconn reconnects
+//! (§5.1).
+
+use std::collections::HashMap;
+
+use mindgap_ble::{
+    ConnId, Frame, LinkLayer, ListenTag, LlConfig, LossReason, Output, Role, Timer,
+};
+use mindgap_coap::{Client, Code, Message, MsgType, Server};
+use mindgap_l2cap::frame::{self as l2frame, Signal, CID_LE_SIGNALING};
+use mindgap_l2cap::{BufPool, CocChannel, CocConfig, NIMBLE_BUF_BYTES};
+use mindgap_net::{Ipv6Addr, Ipv6Stack, NetConfig, StackEvent};
+use mindgap_phy::{Channel, LossConfig, Medium, MediumConfig, TxId, TxParams, BLE_JAMMED_CHANNEL};
+use mindgap_sim::{Clock, Duration, EventQueue, Instant, NodeId, Rng, Trace, TraceKind};
+use mindgap_sixlowpan::{iphc, LinkContext, LlAddr};
+
+use crate::records::Records;
+use crate::rpl::{RplAgent, RplConfig, RplMsg, RplSend, RPL_PORT};
+use crate::statconn::{EdgeConfig, IntervalPolicy, ScAction, Statconn};
+use crate::{BENCH_PATH, COAP_PAYLOAD};
+
+/// The CoAP port used throughout.
+const COAP_PORT: u16 = 5683;
+
+/// Application (workload) configuration — the paper's
+/// producer/consumer scenario (§4.3).
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// Nodes that periodically send CoAP requests.
+    pub producers: Vec<NodeId>,
+    /// The node answering them (tree root / line end).
+    pub consumer: NodeId,
+    /// Base producer interval (default 1 s).
+    pub producer_interval: Duration,
+    /// Uniform jitter around the base (default ±0.5 s).
+    pub producer_jitter: Duration,
+    /// Request payload bytes (default 39, §4.3).
+    pub payload: usize,
+    /// Response payload bytes (CoAP "acknowledgment" content).
+    pub response_payload: usize,
+    /// Client-side timeout after which a request counts as lost.
+    pub coap_timeout: Duration,
+    /// Producers stay silent until the network has formed.
+    pub warmup: Duration,
+}
+
+impl AppConfig {
+    /// The paper's default workload for the given producer set.
+    pub fn paper_default(producers: Vec<NodeId>, consumer: NodeId) -> Self {
+        AppConfig {
+            producers,
+            consumer,
+            producer_interval: Duration::from_secs(1),
+            producer_jitter: Duration::from_millis(500),
+            payload: COAP_PAYLOAD,
+            response_payload: 10,
+            coap_timeout: Duration::from_secs(30),
+            warmup: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Per-node static configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// statconn edges (who we connect to, in which role).
+    pub edges: Vec<EdgeConfig>,
+    /// Static routes: destination address → next-hop address.
+    pub routes: Vec<(Ipv6Addr, Ipv6Addr)>,
+}
+
+/// World-level configuration.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; everything random derives from it.
+    pub seed: u64,
+    /// Connection-interval policy (static vs randomized, §6.3).
+    pub policy: IntervalPolicy,
+    /// Link-layer configuration shared by all nodes.
+    pub ll: LlConfig,
+    /// Channel-error process.
+    pub loss: LossConfig,
+    /// Per-node clock drift drawn uniformly from ±this (ppm).
+    pub clock_ppm_range: f64,
+    /// Emulate the testbed's permanently jammed channel 22 (§4.2).
+    pub jam_channel_22: bool,
+    /// Channel map for all initiated connections. The paper excludes
+    /// the jammed channel statically; set `ChannelMap::ALL` together
+    /// with `ll.afh_enabled` for the adaptive-hopping ablation.
+    pub conn_channel_map: mindgap_ble::channels::ChannelMap,
+    /// Run the RPL-style routing agent instead of static routes (the
+    /// paper's future-work direction; see `mindgap_core::rpl`). The
+    /// consumer acts as DODAG root.
+    pub dynamic_routing: bool,
+    /// Time-bucket width for records.
+    pub record_bucket: Duration,
+}
+
+impl WorldConfig {
+    /// The paper's testbed defaults with the given interval policy.
+    pub fn paper_default(seed: u64, policy: IntervalPolicy) -> Self {
+        WorldConfig {
+            seed,
+            policy,
+            ll: LlConfig::default(),
+            loss: LossConfig::ble_default(),
+            clock_ppm_range: 3.0,
+            jam_channel_22: true,
+            conn_channel_map: mindgap_ble::channels::ChannelMap::all_except_jammed(),
+            dynamic_routing: false,
+            record_bucket: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Events in the world's queue.
+enum Ev {
+    LlTimer(NodeId, Timer),
+    TxEnd(u64),
+    AppSend(NodeId),
+    CoapSweep,
+    RplTick(NodeId),
+}
+
+struct InFlight {
+    id: u64,
+    tx: TxId,
+    src: NodeId,
+    frame: Frame,
+    channel: Channel,
+    start: Instant,
+}
+
+struct CocState {
+    chan: CocChannel,
+    peer: NodeId,
+    pending_credits: u16,
+}
+
+struct BleNode {
+    ll: LinkLayer,
+    stack: Ipv6Stack,
+    statconn: Statconn,
+    cocs: HashMap<ConnId, CocState>,
+    pool: BufPool,
+    client: Client,
+    server: Server,
+    rpl: Option<RplAgent>,
+    rng: Rng,
+}
+
+/// The BLE testbed world.
+pub struct World {
+    queue: EventQueue<Ev>,
+    medium: Medium,
+    nodes: Vec<BleNode>,
+    listening: Vec<Option<(ListenTag, Channel, Instant, Instant)>>,
+    inflight: Vec<InFlight>,
+    next_tx: u64,
+    next_conn: u64,
+    /// Both endpoints of every connection ever initiated.
+    conn_ends: HashMap<ConnId, (NodeId, NodeId)>,
+    /// Connections killed by a statconn collision-close before both
+    /// ends finished setting up (§6.3 rejection race).
+    doomed: std::collections::HashSet<ConnId>,
+    /// LL maximum payload (mirrors the LlConfig).
+    max_pdu: usize,
+    records: Records,
+    /// Structured trace (control-plane categories by default).
+    pub trace: Trace,
+    app: AppConfig,
+    /// Echo replies observed (for examples/tests): (node, from, seq).
+    pub echo_replies: Vec<(NodeId, Ipv6Addr, u16)>,
+    started: bool,
+}
+
+impl World {
+    /// Build a world. `nodes[i]` configures node `i`.
+    pub fn new(cfg: WorldConfig, node_cfgs: Vec<NodeConfig>, app: AppConfig) -> Self {
+        let n = node_cfgs.len();
+        assert!(n >= 2, "a testbed needs at least two nodes");
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let mut medium = Medium::new(MediumConfig {
+            n_nodes: n,
+            loss: cfg.loss,
+            seed: rng.fork(0xF00D).next_u64(),
+        });
+        if cfg.jam_channel_22 {
+            medium.set_channel_interference(Channel::ble_data(BLE_JAMMED_CHANNEL), 0.97);
+        }
+        let nodes = node_cfgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, nc)| {
+                let id = NodeId(i as u16);
+                let ppm = rng.range_f64(-cfg.clock_ppm_range, cfg.clock_ppm_range);
+                let mut stack = Ipv6Stack::new(NetConfig::for_node(id.0));
+                stack.bind_udp(COAP_PORT);
+                let rpl = if cfg.dynamic_routing {
+                    stack.bind_udp(RPL_PORT);
+                    Some(RplAgent::new(
+                        Ipv6Addr::of_node(id.0),
+                        RplConfig::new(id == app.consumer),
+                    ))
+                } else {
+                    None
+                };
+                for (dst, via) in nc.routes {
+                    stack.routing_mut().add_host(dst, via);
+                }
+                BleNode {
+                    ll: LinkLayer::new(id, Clock::with_ppm(ppm), cfg.ll, rng.fork(1000 + i as u64)),
+                    stack,
+                    statconn: Statconn::with_channel_map(
+                        id,
+                        &nc.edges,
+                        cfg.policy,
+                        cfg.conn_channel_map,
+                        rng.fork(2000 + i as u64),
+                    ),
+                    cocs: HashMap::new(),
+                    pool: BufPool::new(NIMBLE_BUF_BYTES),
+                    client: Client::new(i as u16),
+                    server: Server::new(0x8000 | i as u16),
+                    rpl,
+                    rng: rng.fork(3000 + i as u64),
+                }
+            })
+            .collect();
+        World {
+            queue: EventQueue::new(),
+            medium,
+            nodes,
+            listening: vec![None; n],
+            inflight: Vec::new(),
+            next_tx: 0,
+            next_conn: 1,
+            conn_ends: HashMap::new(),
+            doomed: std::collections::HashSet::new(),
+            max_pdu: cfg.ll.max_pdu,
+            records: Records::new(cfg.record_bucket),
+            trace: Trace::control_plane(1 << 20),
+            app,
+            echo_replies: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Instant {
+        self.queue.now()
+    }
+
+    /// Measurement records.
+    pub fn records(&self) -> &Records {
+        &self.records
+    }
+
+    /// Consume the world, returning its records.
+    pub fn into_records(self) -> Records {
+        self.records
+    }
+
+    /// Reset measurement records (e.g. after warmup) without touching
+    /// network state.
+    pub fn reset_records(&mut self) {
+        let bucket = self.records.bucket;
+        self.records = Records::new(bucket);
+    }
+
+    /// Link-layer counters of one node.
+    pub fn ll_counters(&self, node: NodeId) -> mindgap_ble::LlCounters {
+        self.nodes[node.index()].ll.counters()
+    }
+
+    /// Interval of a live connection at any node (debug).
+    pub fn nodes_interval(&self, conn: ConnId) -> u64 {
+        self.nodes
+            .iter()
+            .find_map(|n| n.ll.conn_interval(conn))
+            .map(|d| d.millis())
+            .unwrap_or(0)
+    }
+
+    /// Debug probe: (tx credits, CoC queued bytes, pool used, LL queue
+    /// space) of one connection.
+    pub fn coc_debug(&self, node: NodeId, conn: ConnId) -> Option<(u32, usize, usize, usize)> {
+        let n = &self.nodes[node.index()];
+        let c = n.cocs.get(&conn)?;
+        Some((
+            c.chan.tx_credits(),
+            c.chan.queued_bytes(),
+            n.pool.used(),
+            n.ll.queue_space(conn),
+        ))
+    }
+
+    /// Per-connection stats of one node: (conn, peer, role, stats).
+    pub fn conn_stats_of(
+        &self,
+        node: NodeId,
+    ) -> Vec<(ConnId, NodeId, Role, mindgap_ble::ConnStats)> {
+        let n = &self.nodes[node.index()];
+        n.ll
+            .connections()
+            .into_iter()
+            .filter_map(|(c, p, r)| n.ll.conn_stats(c).map(|s| (c, p, r, s)))
+            .collect()
+    }
+
+    /// statconn reconnect count of one node.
+    pub fn reconnects(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].statconn.reconnects
+    }
+
+    /// statconn collision-close count of one node (§6.3 rejections).
+    pub fn collision_closes(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].statconn.collision_closes
+    }
+
+    /// mbuf-pool drop count of one node.
+    pub fn pool_drops(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].pool.drops()
+    }
+
+    /// `true` once every configured edge of every node is connected.
+    pub fn fully_connected(&self) -> bool {
+        self.nodes.iter().all(|n| n.statconn.fully_connected())
+    }
+
+    /// Kick off statconn, producers and housekeeping. Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let actions = self.nodes[i].statconn.start();
+            self.apply_sc_actions(NodeId(i as u16), actions);
+        }
+        for p in self.app.producers.clone() {
+            let jittered = self.nodes[p.index()].rng.jittered_nanos(
+                self.app.producer_interval.nanos(),
+                self.app.producer_jitter.nanos(),
+            );
+            let at = self.queue.now() + self.app.warmup + Duration::from_nanos(jittered);
+            self.queue.schedule_at(at, Ev::AppSend(p));
+        }
+        self.queue
+            .schedule_in(Duration::from_secs(5), Ev::CoapSweep);
+        // Routing agents tick with per-node jitter so beacons spread.
+        for i in 0..self.nodes.len() as u16 {
+            if self.nodes[i as usize].rpl.is_some() {
+                let jitter = self.nodes[i as usize].rng.below(2_000_000_000);
+                self.queue.schedule_in(
+                    Duration::from_secs(1) + Duration::from_nanos(jitter),
+                    Ev::RplTick(NodeId(i)),
+                );
+            }
+        }
+    }
+
+    /// Run the simulation until `t`.
+    pub fn run_until(&mut self, t: Instant) {
+        self.start();
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Re-randomize every coordinator connection's interval through
+    /// the LL connection-update procedure, drawing per-node-unique
+    /// values from `[lo, hi]` in 1.25 ms quanta — the §6.3
+    /// design-space alternative to closing and reopening connections.
+    /// Returns how many updates were initiated.
+    pub fn rerandomize_intervals(&mut self, lo: Duration, hi: Duration) -> usize {
+        use crate::statconn::INTERVAL_QUANTUM;
+        assert!(lo <= hi);
+        let span = (hi - lo) / INTERVAL_QUANTUM;
+        let mut updated = 0;
+        for i in 0..self.nodes.len() {
+            let conns: Vec<(ConnId, Role)> = self.nodes[i]
+                .ll
+                .connections()
+                .into_iter()
+                .map(|(c, _, r)| (c, r))
+                .collect();
+            for (conn, role) in &conns {
+                if *role != Role::Coordinator {
+                    continue;
+                }
+                let n = &mut self.nodes[i];
+                let used: Vec<Duration> = conns
+                    .iter()
+                    .filter_map(|(c, _)| n.ll.conn_interval(*c))
+                    .collect();
+                let interval = loop {
+                    let k = n.rng.range_inclusive(0, span);
+                    let candidate = lo + INTERVAL_QUANTUM * k;
+                    if !used.contains(&candidate) || span == 0 {
+                        break candidate;
+                    }
+                };
+                if n.ll.request_conn_update(*conn, interval).is_ok() {
+                    n.statconn.note_interval(*conn, interval);
+                    updated += 1;
+                }
+            }
+        }
+        updated
+    }
+
+    /// Channel map currently used by a node's connection (diagnostics
+    /// for the AFH ablation).
+    pub fn conn_channel_map(
+        &self,
+        node: NodeId,
+        conn: ConnId,
+    ) -> Option<mindgap_ble::channels::ChannelMap> {
+        self.nodes[node.index()].ll.conn_channel_map(conn)
+    }
+
+    /// Physically sever the radio link between two nodes (they move
+    /// out of range): the connection dies by supervision timeout and —
+    /// unlike a transient loss — statconn's reconnects keep failing.
+    pub fn break_link(&mut self, a: NodeId, b: NodeId) {
+        self.medium.set_out_of_range(a, b, true);
+    }
+
+    /// Bring two nodes back into radio range (inverse of
+    /// [`World::break_link`]); statconn's standing advertising and
+    /// scanning re-establish the configured edge on their own.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
+        self.medium.set_in_range(a, b, true);
+    }
+
+    /// Bytes currently held in a node's NimBLE mbuf pool (diagnostics).
+    pub fn pool_used(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].pool.used()
+    }
+
+    /// Next hop a node's routing table picks for `dst` (diagnostics).
+    pub fn route_of(&self, node: NodeId, dst: Ipv6Addr) -> Option<Ipv6Addr> {
+        self.nodes[node.index()].stack.routing().lookup(&dst)
+    }
+
+    /// Routing-agent state of a node: (rank, parent), when dynamic
+    /// routing is on.
+    pub fn rpl_state(&self, node: NodeId) -> Option<(u16, Option<Ipv6Addr>)> {
+        self.nodes[node.index()]
+            .rpl
+            .as_ref()
+            .map(|a| (a.rank(), a.parent()))
+    }
+
+    /// Send an ICMPv6 echo request from `src` to `dst` (examples).
+    pub fn ping(&mut self, src: NodeId, dst: Ipv6Addr, seq: u16) -> bool {
+        let node = &mut self.nodes[src.index()];
+        match node.stack.send_echo_request(dst, 0xEC40, seq, b"mindgap") {
+            Ok((packet, ll)) => {
+                self.send_ip(src, packet, ll);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    fn step(&mut self) {
+        let Some((now, ev)) = self.queue.pop() else {
+            return;
+        };
+        match ev {
+            Ev::LlTimer(node, timer) => {
+                let outs = self.nodes[node.index()].ll.on_timer(now, timer);
+                self.apply_ll(node, outs);
+            }
+            Ev::TxEnd(id) => self.tx_end(now, id),
+            Ev::AppSend(node) => self.producer_send(now, node),
+            Ev::CoapSweep => {
+                let timeout = self.app.coap_timeout.nanos();
+                for n in &mut self.nodes {
+                    let _ = n.client.expire(now.nanos(), timeout);
+                }
+                self.queue.schedule_in(Duration::from_secs(5), Ev::CoapSweep);
+            }
+            Ev::RplTick(node) => self.rpl_tick(now, node),
+        }
+    }
+
+    fn rpl_tick(&mut self, now: Instant, node: NodeId) {
+        let sends = {
+            let n = &mut self.nodes[node.index()];
+            let Some(agent) = n.rpl.as_mut() else {
+                return;
+            };
+            let (agent, stack) = (agent, &mut n.stack);
+            agent.on_tick(now, stack.routing_mut())
+        };
+        self.rpl_transmit(node, sends);
+        let tick = self.nodes[node.index()]
+            .rpl
+            .as_ref()
+            .map(|_| Duration::from_secs(5))
+            .unwrap_or(Duration::from_secs(5));
+        let jitter = self.nodes[node.index()].rng.below(500_000_000);
+        self.queue.schedule_in(
+            tick + Duration::from_nanos(jitter),
+            Ev::RplTick(node),
+        );
+    }
+
+    fn rpl_transmit(&mut self, node: NodeId, sends: Vec<RplSend>) {
+        for s in sends {
+            let bytes = s.msg.encode();
+            self.send_udp(node, s.to, RPL_PORT, RPL_PORT, &bytes);
+        }
+    }
+
+    fn rpl_rx(&mut self, node: NodeId, src: Ipv6Addr, payload: &[u8]) {
+        let Some(msg) = RplMsg::decode(payload) else {
+            self.records.drop("rpl_malformed");
+            return;
+        };
+        let sends = {
+            let n = &mut self.nodes[node.index()];
+            let Some(agent) = n.rpl.as_mut() else {
+                return;
+            };
+            agent.on_msg(src, msg, n.stack.routing_mut())
+        };
+        self.rpl_transmit(node, sends);
+    }
+
+    fn tx_end(&mut self, now: Instant, id: u64) {
+        let idx = self
+            .inflight
+            .iter()
+            .position(|f| f.id == id)
+            .expect("tx tracked");
+        let fl = self.inflight.swap_remove(idx);
+        let listeners: Vec<NodeId> = self
+            .listening
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| {
+                let (_, ch, since, until) = (*l)?;
+                (ch == fl.channel && since <= fl.start && until >= now)
+                    .then_some(NodeId(i as u16))
+            })
+            .collect();
+        let outcomes = self.medium.finish_tx(fl.tx, &listeners);
+        // Link-layer delivery accounting for data PDUs.
+        if let Frame::Data { conn, pdu, .. } = &fl.frame {
+            if !pdu.payload.is_empty() {
+                if let Some(&(a, b)) = self.conn_ends.get(conn) {
+                    let dst = if a == fl.src { b } else { a };
+                    let ok = outcomes
+                        .iter()
+                        .any(|(l, o)| *l == dst && o.is_ok());
+                    self.records
+                        .ll_attempt(fl.src, dst, now, fl.channel.index(), ok);
+                }
+            }
+        }
+        for (listener, outcome) in outcomes {
+            if outcome.is_ok() {
+                let outs =
+                    self.nodes[listener.index()].ll.on_frame_rx(now, &fl.frame, fl.channel);
+                self.apply_ll(listener, outs);
+            }
+        }
+        let outs = self.nodes[fl.src.index()].ll.on_tx_done(now, &fl.frame);
+        self.apply_ll(fl.src, outs);
+    }
+
+    // ------------------------------------------------------------------
+    // Link-layer output handling
+    // ------------------------------------------------------------------
+
+    fn apply_ll(&mut self, node: NodeId, outputs: Vec<Output>) {
+        let now = self.queue.now();
+        for o in outputs {
+            match o {
+                Output::Arm { at, timer } => {
+                    self.queue
+                        .schedule_at(at.max(now), Ev::LlTimer(node, timer));
+                }
+                Output::Tx { channel, frame } => {
+                    let airtime = frame.airtime();
+                    let tx = self.medium.begin_tx(TxParams {
+                        src: node,
+                        channel,
+                        start: now,
+                        airtime,
+                    });
+                    let id = self.next_tx;
+                    self.next_tx += 1;
+                    self.inflight.push(InFlight {
+                        id,
+                        tx,
+                        src: node,
+                        frame,
+                        channel,
+                        start: now,
+                    });
+                    self.queue.schedule_at(now + airtime, Ev::TxEnd(id));
+                }
+                Output::Listen { channel, until, tag } => {
+                    self.listening[node.index()] = Some((tag, channel, now, until));
+                }
+                Output::ListenOff { tag } => {
+                    if self.listening[node.index()].map(|(t, ..)| t) == Some(tag) {
+                        self.listening[node.index()] = None;
+                    }
+                }
+                Output::ConnUp { conn, peer, role } => {
+                    self.conn_up(node, conn, peer, role);
+                }
+                Output::ConnDown { conn, peer, reason } => {
+                    self.conn_down(node, conn, peer, reason);
+                }
+                Output::Rx { conn, payload } => {
+                    self.ll_rx(node, conn, payload);
+                }
+                Output::TxSpace { conn } => {
+                    self.pump(node, conn);
+                }
+                Output::Trace { tag, detail } => {
+                    self.trace.emit(now, node, TraceKind::Link, tag, detail);
+                }
+            }
+        }
+    }
+
+    fn conn_up(&mut self, node: NodeId, conn: ConnId, peer: NodeId, role: Role) {
+        let now = self.queue.now();
+        // The peer's statconn already rejected this connection
+        // (interval collision) before our end finished setting up.
+        if self.doomed.contains(&conn) {
+            let outs = self.nodes[node.index()].ll.close(conn, now);
+            self.apply_ll(node, outs);
+            return;
+        }
+        self.trace
+            .emit(now, node, TraceKind::ConnMgr, "conn_up", conn.0);
+        let interval = self.nodes[node.index()]
+            .ll
+            .conn_interval(conn)
+            .expect("fresh connection");
+        let actions =
+            self.nodes[node.index()]
+                .statconn
+                .on_conn_up(conn, peer, role, interval);
+        // Register the L2CAP channel unless statconn rejects it.
+        let rejected = actions
+            .iter()
+            .any(|a| matches!(a, ScAction::Close { conn: c } if *c == conn));
+        if !rejected {
+            self.nodes[node.index()].cocs.insert(
+                conn,
+                CocState {
+                    chan: CocChannel::symmetric(CocConfig::default(), 0x40, 0x40),
+                    peer,
+                    pending_credits: 0,
+                },
+            );
+        }
+        self.apply_sc_actions(node, actions);
+    }
+
+    fn conn_down(&mut self, node: NodeId, conn: ConnId, peer: NodeId, reason: LossReason) {
+        let now = self.queue.now();
+        self.trace
+            .emit(now, node, TraceKind::ConnMgr, "conn_down", conn.0);
+        if reason == LossReason::SupervisionTimeout {
+            self.records.conn_loss(now, node, peer);
+        }
+        if let Some(coc) = self.nodes[node.index()].cocs.remove(&conn) {
+            // Release mbufs still queued for this channel.
+            let queued = coc.chan.queued_pool_cost();
+            if queued > 0 {
+                self.nodes[node.index()].pool.free(queued);
+            }
+        }
+        {
+            let sends = {
+                let n = &mut self.nodes[node.index()];
+                n.rpl.as_mut().map(|agent| {
+                    agent.on_neighbor_down(Ipv6Addr::of_node(peer.0), n.stack.routing_mut())
+                })
+            };
+            if let Some(sends) = sends {
+                self.rpl_transmit(node, sends);
+            }
+        }
+        let actions = self.nodes[node.index()].statconn.on_conn_down(conn, peer);
+        self.apply_sc_actions(node, actions);
+    }
+
+    fn apply_sc_actions(&mut self, node: NodeId, actions: Vec<ScAction>) {
+        let now = self.queue.now();
+        for a in actions {
+            match a {
+                ScAction::Advertise => {
+                    let outs = self.nodes[node.index()].ll.start_advertising(now);
+                    self.apply_ll(node, outs);
+                }
+                ScAction::Scan { peer, params } => {
+                    let conn = ConnId(self.next_conn);
+                    self.next_conn += 1;
+                    self.conn_ends.insert(conn, (node, peer));
+                    let outs =
+                        self.nodes[node.index()]
+                            .ll
+                            .start_scanning(now, peer, conn, params);
+                    self.apply_ll(node, outs);
+                }
+                ScAction::Close { conn } => {
+                    self.trace
+                        .emit(now, node, TraceKind::ConnMgr, "collision_close", conn.0);
+                    self.doomed.insert(conn);
+                    self.close_both(conn);
+                }
+            }
+        }
+    }
+
+    /// Close a connection on both ends (models the LL_TERMINATE_IND
+    /// exchange; see `mindgap-ble` docs).
+    fn close_both(&mut self, conn: ConnId) {
+        let now = self.queue.now();
+        let Some(&(a, b)) = self.conn_ends.get(&conn) else {
+            return;
+        };
+        for node in [a, b] {
+            let outs = self.nodes[node.index()].ll.close(conn, now);
+            self.apply_ll(node, outs);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // L2CAP pump & data path
+    // ------------------------------------------------------------------
+
+    /// Move pending credits and K-frames from the CoC into the LL
+    /// queue while there is room.
+    fn pump(&mut self, node: NodeId, conn: ConnId) {
+        let max_pdu = self.max_pdu;
+        loop {
+            let n = &mut self.nodes[node.index()];
+            if n.ll.queue_space(conn) == 0 {
+                return;
+            }
+            let Some(coc) = n.cocs.get_mut(&conn) else {
+                return;
+            };
+            // Credits first: flow control must not starve behind data.
+            if coc.pending_credits > 0 {
+                let sig = Signal::Credit {
+                    identifier: 1,
+                    cid: 0x40,
+                    credits: coc.pending_credits,
+                };
+                let pdu = l2frame::encode_basic(CID_LE_SIGNALING, &sig.encode());
+                if n.ll.enqueue(conn, pdu).is_ok() {
+                    coc.pending_credits = 0;
+                    continue;
+                }
+                return;
+            }
+            match coc.chan.next_pdu(max_pdu, &mut n.pool) {
+                Some(pdu) => {
+                    n.ll
+                        .enqueue(conn, pdu)
+                        .expect("space checked before pull");
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// An LL payload (one L2CAP PDU) arrived on `conn`.
+    fn ll_rx(&mut self, node: NodeId, conn: ConnId, payload: Vec<u8>) {
+        let decoded = match l2frame::decode_basic(&payload) {
+            Ok(p) => (p.cid, p.payload.to_vec()),
+            Err(_) => {
+                self.records.drop("l2cap_malformed");
+                return;
+            }
+        };
+        let (cid, body) = decoded;
+        if cid == CID_LE_SIGNALING {
+            if let Ok(Signal::Credit { credits, .. }) = Signal::decode(&body) {
+                if let Some(coc) = self.nodes[node.index()].cocs.get_mut(&conn) {
+                    coc.chan.grant(credits);
+                }
+                self.pump(node, conn);
+            }
+            return;
+        }
+        let (sdu, peer) = {
+            let n = &mut self.nodes[node.index()];
+            let Some(coc) = n.cocs.get_mut(&conn) else {
+                return;
+            };
+            let sdu = match coc.chan.on_pdu(&body) {
+                Ok(s) => s,
+                Err(_) => {
+                    self.records.drop("l2cap_protocol");
+                    return;
+                }
+            };
+            let back = coc.chan.credits_to_return();
+            if back > 0 {
+                coc.pending_credits = coc.pending_credits.saturating_add(back);
+            }
+            (sdu, coc.peer)
+        };
+        self.pump(node, conn); // flush credits (and any queued data)
+        if let Some(sdu) = sdu {
+            self.handle_sdu(node, peer, sdu);
+        }
+    }
+
+    /// A complete 6LoWPAN frame arrived from `peer`.
+    fn handle_sdu(&mut self, node: NodeId, peer: NodeId, sdu: Vec<u8>) {
+        let ctx = LinkContext {
+            src: LlAddr::from_node_index(peer.0),
+            dst: LlAddr::from_node_index(node.0),
+        };
+        let packet = match iphc::decode_frame(&sdu, &ctx) {
+            Ok(p) => p,
+            Err(_) => {
+                self.records.drop("sixlowpan_malformed");
+                return;
+            }
+        };
+        let events = self.nodes[node.index()].stack.on_datagram(&packet);
+        self.handle_stack_events(node, events);
+    }
+
+    fn handle_stack_events(&mut self, node: NodeId, events: Vec<StackEvent>) {
+        let now = self.queue.now();
+        for ev in events {
+            match ev {
+                StackEvent::DeliverUdp {
+                    src,
+                    src_port,
+                    dst_port,
+                    payload,
+                } => {
+                    if dst_port == COAP_PORT {
+                        self.coap_rx(node, src, src_port, &payload);
+                    } else if dst_port == RPL_PORT {
+                        self.rpl_rx(node, src, &payload);
+                    }
+                }
+                StackEvent::DeliverEchoReply { from, sequence, .. } => {
+                    self.echo_replies.push((node, from, sequence));
+                }
+                StackEvent::Transmit {
+                    packet,
+                    next_hop_ll,
+                } => {
+                    self.send_ip(node, packet, next_hop_ll);
+                }
+                StackEvent::Dropped { reason } => {
+                    self.records.drop(reason);
+                    self.trace.emit(now, node, TraceKind::Net, reason, 0);
+                }
+            }
+        }
+    }
+
+    fn coap_rx(&mut self, node: NodeId, src: Ipv6Addr, src_port: u16, payload: &[u8]) {
+        let now = self.queue.now();
+        let Ok(msg) = Message::decode(payload) else {
+            self.records.drop("coap_malformed");
+            return;
+        };
+        if msg.code.is_request() {
+            let response_payload = vec![0x5A; self.app.response_payload];
+            let reply = {
+                let n = &mut self.nodes[node.index()];
+                n.server.respond(&msg, Code::CONTENT, response_payload)
+            };
+            if let Some(reply) = reply {
+                let bytes = reply.message.encode();
+                self.send_udp(node, src, COAP_PORT, src_port, &bytes);
+            }
+        } else if msg.code.is_response() {
+            let done = {
+                let n = &mut self.nodes[node.index()];
+                n.client.on_response(&msg, now.nanos())
+            };
+            if let Some(c) = done {
+                self.records.coap_done(
+                    node,
+                    Instant::from_nanos(c.request.sent_at_ns),
+                    Duration::from_nanos(c.rtt_ns),
+                );
+            }
+        }
+    }
+
+    fn send_udp(&mut self, node: NodeId, dst: Ipv6Addr, src_port: u16, dst_port: u16, data: &[u8]) {
+        let res = self.nodes[node.index()]
+            .stack
+            .send_udp(dst, src_port, dst_port, data);
+        match res {
+            Ok((packet, ll)) => self.send_ip(node, packet, ll),
+            Err(_) => self.records.drop("no_route_local"),
+        }
+    }
+
+    /// Hand an IPv6 packet to the BLE link towards `next_hop_ll`.
+    fn send_ip(&mut self, node: NodeId, packet: Vec<u8>, next_hop_ll: LlAddr) {
+        if next_hop_ll == LlAddr::BROADCAST {
+            // RFC 7668: multicast is replicated over every link.
+            let conns: Vec<(ConnId, NodeId)> = self.nodes[node.index()]
+                .cocs
+                .iter()
+                .map(|(c, s)| (*c, s.peer))
+                .collect();
+            for (conn, peer) in conns {
+                self.send_on_conn(node, conn, peer, &packet);
+            }
+            return;
+        }
+        let peer = NodeId(u16::from_be_bytes([next_hop_ll.0[6], next_hop_ll.0[7]]));
+        let Some(conn) = self.nodes[node.index()].statconn.conn_to(peer) else {
+            self.records.drop("link_down");
+            return;
+        };
+        if !self.nodes[node.index()].cocs.contains_key(&conn) {
+            self.records.drop("link_down");
+            return;
+        }
+        self.send_on_conn(node, conn, peer, &packet);
+    }
+
+    fn send_on_conn(&mut self, node: NodeId, conn: ConnId, peer: NodeId, packet: &[u8]) {
+        let ctx = LinkContext {
+            src: LlAddr::from_node_index(node.0),
+            dst: LlAddr::from_node_index(peer.0),
+        };
+        let frame = iphc::encode_frame(packet, &ctx);
+        let n = &mut self.nodes[node.index()];
+        let Some(coc) = n.cocs.get_mut(&conn) else {
+            self.records.drop("link_down");
+            return;
+        };
+        match coc.chan.send_sdu(frame, &mut n.pool) {
+            Ok(()) => self.pump(node, conn),
+            Err(_) => {
+                // The paper's §5.2 loss mechanism: mbuf pool exhausted.
+                self.records.drop("mbuf_exhausted");
+                self.trace.emit(
+                    self.queue.now(),
+                    node,
+                    TraceKind::Buffer,
+                    "mbuf_exhausted",
+                    0,
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application
+    // ------------------------------------------------------------------
+
+    fn producer_send(&mut self, now: Instant, node: NodeId) {
+        let consumer = Ipv6Addr::of_node(self.app.consumer.0);
+        let payload = vec![0xA5; self.app.payload];
+        let msg = {
+            let n = &mut self.nodes[node.index()];
+            n.client
+                .request(now.nanos(), MsgType::NonConfirmable, Code::GET, BENCH_PATH, payload)
+        };
+        self.records.coap_sent(node, now);
+        self.trace.emit(now, node, TraceKind::App, "coap_req", 0);
+        let bytes = msg.encode();
+        self.send_udp(node, consumer, COAP_PORT, COAP_PORT, &bytes);
+        // Schedule the next request with fresh jitter.
+        let jittered = self.nodes[node.index()].rng.jittered_nanos(
+            self.app.producer_interval.nanos(),
+            self.app.producer_jitter.nanos(),
+        );
+        self.queue
+            .schedule_at(now + Duration::from_nanos(jittered), Ev::AppSend(node));
+    }
+}

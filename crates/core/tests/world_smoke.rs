@@ -1,0 +1,174 @@
+//! End-to-end smoke tests of the BLE world: a small line topology
+//! carrying the paper's CoAP workload.
+
+use mindgap_core::{
+    AppConfig, EdgeConfig, EdgeRole, IntervalPolicy, NodeConfig, World, WorldConfig,
+};
+use mindgap_net::Ipv6Addr;
+use mindgap_sim::{Duration, Instant, NodeId};
+
+/// Line 0—1—2: node 0 is the consumer; traffic flows 2 → 1 → 0.
+/// Downstream nodes coordinate towards their parent (the parent
+/// advertises), matching the paper's role assignment (§6.1 / Fig. 12).
+fn line3(seed: u64, policy: IntervalPolicy) -> World {
+    let addr = |i: u16| Ipv6Addr::of_node(i);
+    let nodes = vec![
+        NodeConfig {
+            edges: vec![EdgeConfig {
+                peer: NodeId(1),
+                role: EdgeRole::Subordinate,
+            }],
+            routes: vec![(addr(2), addr(1))],
+        },
+        NodeConfig {
+            edges: vec![
+                EdgeConfig {
+                    peer: NodeId(0),
+                    role: EdgeRole::Coordinator,
+                },
+                EdgeConfig {
+                    peer: NodeId(2),
+                    role: EdgeRole::Subordinate,
+                },
+            ],
+            routes: vec![],
+        },
+        NodeConfig {
+            edges: vec![EdgeConfig {
+                peer: NodeId(1),
+                role: EdgeRole::Coordinator,
+            }],
+            routes: vec![(addr(0), addr(1))],
+        },
+    ];
+    let app = AppConfig {
+        warmup: Duration::from_secs(10),
+        ..AppConfig::paper_default(vec![NodeId(2)], NodeId(0))
+    };
+    World::new(WorldConfig::paper_default(seed, policy), nodes, app)
+}
+
+#[test]
+fn network_forms_and_delivers_coap() {
+    let mut w = line3(1, IntervalPolicy::Static(Duration::from_millis(75)));
+    w.run_until(Instant::from_secs(10));
+    assert!(w.fully_connected(), "statconn must bring all edges up");
+    w.run_until(Instant::from_secs(120));
+    let r = w.records();
+    assert!(r.total_sent() > 80, "producer ran: {}", r.total_sent());
+    let pdr = r.coap_pdr();
+    assert!(pdr > 0.97, "2-hop CoAP PDR {pdr}");
+    // RTT: median within a couple of connection intervals × hops.
+    let med = r.rtt_quantile_secs(0.5).unwrap();
+    assert!(med > 0.01 && med < 0.5, "median RTT {med}s");
+}
+
+#[test]
+fn ping_across_two_hops() {
+    let mut w = line3(2, IntervalPolicy::Static(Duration::from_millis(50)));
+    w.run_until(Instant::from_secs(10));
+    assert!(w.ping(NodeId(2), Ipv6Addr::of_node(0), 7));
+    w.run_until(Instant::from_secs(12));
+    assert!(
+        w.echo_replies
+            .iter()
+            .any(|(n, from, seq)| *n == NodeId(2) && *from == Ipv6Addr::of_node(0) && *seq == 7),
+        "echo reply missing: {:?}",
+        w.echo_replies
+    );
+}
+
+#[test]
+fn deterministic_runs() {
+    let run = |seed| {
+        let mut w = line3(seed, IntervalPolicy::Static(Duration::from_millis(75)));
+        w.run_until(Instant::from_secs(90));
+        let r = w.records();
+        (
+            r.total_sent(),
+            r.total_done(),
+            r.rtt.len(),
+            r.ll_pdr().to_bits(),
+        )
+    };
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn randomized_policy_forms_network_too() {
+    let mut w = line3(
+        3,
+        IntervalPolicy::Randomized {
+            lo: Duration::from_millis(65),
+            hi: Duration::from_millis(85),
+        },
+    );
+    w.run_until(Instant::from_secs(15));
+    assert!(w.fully_connected());
+    w.run_until(Instant::from_secs(90));
+    assert!(w.records().coap_pdr() > 0.95);
+}
+
+#[test]
+fn narrow_random_window_forces_collision_closes() {
+    // A [75:80] ms window has only 5 quantized values; the consumer
+    // holds 3 subordinate connections, so collisions at setup are
+    // likely across seeds — the §6.3 rejection machinery must fire and
+    // the network must still converge to unique intervals.
+    use mindgap_core::{AppConfig, NodeConfig, WorldConfig};
+    let addr = |i: u16| Ipv6Addr::of_node(i);
+    let nodes = vec![
+        NodeConfig {
+            edges: (1..4)
+                .map(|i| EdgeConfig {
+                    peer: NodeId(i),
+                    role: EdgeRole::Subordinate,
+                })
+                .collect(),
+            routes: vec![],
+        },
+        NodeConfig {
+            edges: vec![EdgeConfig {
+                peer: NodeId(0),
+                role: EdgeRole::Coordinator,
+            }],
+            routes: vec![(addr(0), addr(0))],
+        },
+        NodeConfig {
+            edges: vec![EdgeConfig {
+                peer: NodeId(0),
+                role: EdgeRole::Coordinator,
+            }],
+            routes: vec![],
+        },
+        NodeConfig {
+            edges: vec![EdgeConfig {
+                peer: NodeId(0),
+                role: EdgeRole::Coordinator,
+            }],
+            routes: vec![],
+        },
+    ];
+    let mut total_closes = 0;
+    for seed in 0..6 {
+        let app = AppConfig {
+            warmup: Duration::from_secs(5),
+            ..AppConfig::paper_default(vec![NodeId(1), NodeId(2), NodeId(3)], NodeId(0))
+        };
+        let cfg = WorldConfig::paper_default(
+            seed,
+            IntervalPolicy::Randomized {
+                lo: Duration::from_millis(75),
+                hi: Duration::from_millis(80),
+            },
+        );
+        let mut w = World::new(cfg, nodes.clone(), app);
+        w.run_until(Instant::from_secs(30));
+        assert!(w.fully_connected(), "seed {seed} must converge");
+        total_closes += w.collision_closes(NodeId(0));
+    }
+    assert!(
+        total_closes > 0,
+        "5 values × 3 connections × 6 seeds must collide at least once"
+    );
+}

@@ -1,0 +1,193 @@
+//! IPv6 addresses.
+//!
+//! A thin, copyable 16-byte address type with the helpers the
+//! 6LoWPAN/BLE world needs (link-local construction from EUI-64,
+//! scope classification). We deliberately do not use
+//! `std::net::Ipv6Addr` so the crate keeps an embedded-friendly
+//! surface and full control over formatting.
+
+use core::fmt;
+
+use mindgap_sixlowpan::LlAddr;
+
+/// A 128-bit IPv6 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv6Addr(pub [u8; 16]);
+
+impl Ipv6Addr {
+    /// The unspecified address `::`.
+    pub const UNSPECIFIED: Ipv6Addr = Ipv6Addr([0; 16]);
+
+    /// The all-nodes link-local multicast group `ff02::1`.
+    pub const ALL_NODES: Ipv6Addr = {
+        let mut a = [0u8; 16];
+        a[0] = 0xff;
+        a[1] = 0x02;
+        a[15] = 0x01;
+        Ipv6Addr(a)
+    };
+
+    /// The all-routers link-local multicast group `ff02::2`.
+    pub const ALL_ROUTERS: Ipv6Addr = {
+        let mut a = [0u8; 16];
+        a[0] = 0xff;
+        a[1] = 0x02;
+        a[15] = 0x02;
+        Ipv6Addr(a)
+    };
+
+    /// Link-local address derived from a link-layer EUI-64
+    /// (`fe80::/64` + IID with flipped U/L bit, RFC 4291).
+    pub fn link_local(ll: LlAddr) -> Self {
+        Ipv6Addr(ll.link_local())
+    }
+
+    /// The conventional simulation address of node `index`.
+    pub fn of_node(index: u16) -> Self {
+        Ipv6Addr::link_local(LlAddr::from_node_index(index))
+    }
+
+    /// `true` for multicast addresses (`ff00::/8`).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] == 0xff
+    }
+
+    /// `true` for link-local unicast (`fe80::/10`).
+    pub fn is_link_local(&self) -> bool {
+        self.0[0] == 0xfe && self.0[1] & 0xC0 == 0x80
+    }
+
+    /// `true` for the unspecified address `::`.
+    pub fn is_unspecified(&self) -> bool {
+        self.0 == [0; 16]
+    }
+
+    /// The interface identifier (low 64 bits).
+    pub fn iid(&self) -> [u8; 8] {
+        let mut iid = [0u8; 8];
+        iid.copy_from_slice(&self.0[8..]);
+        iid
+    }
+
+    /// Recover the EUI-64 link-layer address from a link-local
+    /// address formed per RFC 4291 (inverse of [`Ipv6Addr::link_local`]).
+    pub fn to_ll(&self) -> Option<LlAddr> {
+        if !self.is_link_local() {
+            return None;
+        }
+        let mut eui = self.iid();
+        eui[0] ^= 0x02;
+        Some(LlAddr(eui))
+    }
+
+    /// Raw bytes.
+    pub fn octets(&self) -> [u8; 16] {
+        self.0
+    }
+}
+
+impl From<[u8; 16]> for Ipv6Addr {
+    fn from(b: [u8; 16]) -> Self {
+        Ipv6Addr(b)
+    }
+}
+
+impl fmt::Display for Ipv6Addr {
+    /// RFC 5952-style formatting: lowercase hex groups with the
+    /// longest zero run (length ≥ 2) compressed to `::`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let groups: Vec<u16> = (0..8)
+            .map(|i| u16::from_be_bytes([self.0[2 * i], self.0[2 * i + 1]]))
+            .collect();
+        // Find longest zero run.
+        let (mut best_start, mut best_len) = (0usize, 0usize);
+        let (mut cur_start, mut cur_len) = (0usize, 0usize);
+        for (i, &g) in groups.iter().enumerate() {
+            if g == 0 {
+                if cur_len == 0 {
+                    cur_start = i;
+                }
+                cur_len += 1;
+                if cur_len > best_len {
+                    best_start = cur_start;
+                    best_len = cur_len;
+                }
+            } else {
+                cur_len = 0;
+            }
+        }
+        if best_len < 2 {
+            let strs: Vec<String> = groups.iter().map(|g| format!("{g:x}")).collect();
+            return write!(f, "{}", strs.join(":"));
+        }
+        for (i, &g) in groups.iter().enumerate().take(best_start) {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{g:x}")?;
+        }
+        write!(f, "::")?;
+        for (i, &g) in groups.iter().enumerate().skip(best_start + best_len) {
+            if i > best_start + best_len {
+                write!(f, ":")?;
+            }
+            write!(f, "{g:x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Ipv6Addr::ALL_NODES.is_multicast());
+        assert!(!Ipv6Addr::ALL_NODES.is_link_local());
+        assert!(Ipv6Addr::of_node(3).is_link_local());
+        assert!(!Ipv6Addr::of_node(3).is_multicast());
+        assert!(Ipv6Addr::UNSPECIFIED.is_unspecified());
+    }
+
+    #[test]
+    fn ll_roundtrip() {
+        let ll = LlAddr::from_node_index(7);
+        let addr = Ipv6Addr::link_local(ll);
+        assert_eq!(addr.to_ll(), Some(ll));
+        assert_eq!(Ipv6Addr::ALL_NODES.to_ll(), None);
+    }
+
+    #[test]
+    fn node_addresses_unique() {
+        let a = Ipv6Addr::of_node(1);
+        let b = Ipv6Addr::of_node(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_compresses_zeros() {
+        assert_eq!(Ipv6Addr::UNSPECIFIED.to_string(), "::");
+        assert_eq!(Ipv6Addr::ALL_NODES.to_string(), "ff02::1");
+        let n = Ipv6Addr::of_node(0x0102);
+        assert_eq!(n.to_string(), "fe80::ff:fe00:102");
+    }
+
+    #[test]
+    fn display_no_compression_when_no_run() {
+        let a = Ipv6Addr([
+            0x20, 0x01, 0x0d, 0xb8, 0x11, 0x11, 0x22, 0x22, 0x33, 0x33, 0x44, 0x44, 0x55, 0x55,
+            0x66, 0x66,
+        ]);
+        assert_eq!(a.to_string(), "2001:db8:1111:2222:3333:4444:5555:6666");
+    }
+
+    #[test]
+    fn display_single_zero_not_compressed() {
+        let a = Ipv6Addr([
+            0x20, 0x01, 0, 0, 0x11, 0x11, 0, 0, 0, 0, 0x44, 0x44, 0x55, 0x55, 0x66, 0x66,
+        ]);
+        // Longest run (3 groups) wins over the earlier 1-group runs.
+        assert_eq!(a.to_string(), "2001:0:1111::4444:5555:6666");
+    }
+}

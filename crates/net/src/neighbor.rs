@@ -1,0 +1,137 @@
+//! Neighbour cache: IPv6 address → link-layer address.
+//!
+//! The paper raises GNRC's neighbour information base to 32 entries so
+//! all 15 nodes are reachable (§4.2). We model the same bounded table
+//! with FIFO eviction — constrained stacks do not run LRU bookkeeping.
+
+use mindgap_sixlowpan::LlAddr;
+
+use crate::addr::Ipv6Addr;
+
+/// GNRC's neighbour cache size in the paper's configuration.
+pub const DEFAULT_CAPACITY: usize = 32;
+
+/// A bounded neighbour cache.
+#[derive(Debug, Clone)]
+pub struct NeighborCache {
+    entries: Vec<(Ipv6Addr, LlAddr)>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl NeighborCache {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "neighbour cache needs at least one slot");
+        NeighborCache {
+            entries: Vec::with_capacity(capacity.min(64)),
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// Insert or refresh a mapping. When the table is full, the oldest
+    /// entry is evicted (FIFO).
+    pub fn insert(&mut self, addr: Ipv6Addr, ll: LlAddr) {
+        if let Some(e) = self.entries.iter_mut().find(|(a, _)| *a == addr) {
+            e.1 = ll;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+            self.evictions += 1;
+        }
+        self.entries.push((addr, ll));
+    }
+
+    /// Resolve an IPv6 address.
+    ///
+    /// Link-local addresses formed from EUI-64 resolve implicitly even
+    /// without a cache entry, as RFC 7668/6775 allow: the IID *is* the
+    /// link-layer address.
+    pub fn lookup(&self, addr: &Ipv6Addr) -> Option<LlAddr> {
+        if let Some(&(_, ll)) = self.entries.iter().find(|(a, _)| a == addr) {
+            return Some(ll);
+        }
+        addr.to_ll()
+    }
+
+    /// Number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no explicit entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of evictions caused by capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+impl Default for NeighborCache {
+    fn default() -> Self {
+        NeighborCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn global(i: u8) -> Ipv6Addr {
+        let mut a = [0u8; 16];
+        a[0] = 0x20;
+        a[1] = 0x01;
+        a[15] = i;
+        Ipv6Addr(a)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut nc = NeighborCache::new(4);
+        let ll = LlAddr::from_node_index(9);
+        nc.insert(global(1), ll);
+        assert_eq!(nc.lookup(&global(1)), Some(ll));
+        assert_eq!(nc.lookup(&global(2)), None);
+    }
+
+    #[test]
+    fn link_local_resolves_implicitly() {
+        let nc = NeighborCache::default();
+        let addr = Ipv6Addr::of_node(5);
+        assert_eq!(nc.lookup(&addr), Some(LlAddr::from_node_index(5)));
+        assert!(nc.is_empty());
+    }
+
+    #[test]
+    fn refresh_does_not_duplicate() {
+        let mut nc = NeighborCache::new(2);
+        nc.insert(global(1), LlAddr::from_node_index(1));
+        nc.insert(global(1), LlAddr::from_node_index(7));
+        assert_eq!(nc.len(), 1);
+        assert_eq!(nc.lookup(&global(1)), Some(LlAddr::from_node_index(7)));
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut nc = NeighborCache::new(2);
+        nc.insert(global(1), LlAddr::from_node_index(1));
+        nc.insert(global(2), LlAddr::from_node_index(2));
+        nc.insert(global(3), LlAddr::from_node_index(3));
+        assert_eq!(nc.len(), 2);
+        assert_eq!(nc.evictions(), 1);
+        assert_eq!(nc.lookup(&global(1)), None);
+        assert!(nc.lookup(&global(2)).is_some());
+        assert!(nc.lookup(&global(3)).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = NeighborCache::new(0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Static routing.
+//!
+//! The paper configures IP routes manually so traffic flows towards
+//! the tree root or the line end (§4.3); dynamic routing (RPL) is
+//! explicitly left for future work. We implement longest-prefix-match
+//! over static entries plus a default route — enough generality that a
+//! routing protocol could populate the same table later.
+
+use crate::addr::Ipv6Addr;
+
+/// One routing entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Ipv6Addr,
+    /// Prefix length in bits (0 = default route).
+    pub prefix_len: u8,
+    /// Next-hop address (must be on-link).
+    pub next_hop: Ipv6Addr,
+}
+
+/// A static routing table with longest-prefix-match lookup.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    routes: Vec<Route>,
+}
+
+fn prefix_matches(addr: &Ipv6Addr, prefix: &Ipv6Addr, len: u8) -> bool {
+    debug_assert!(len <= 128);
+    let full_bytes = (len / 8) as usize;
+    if addr.0[..full_bytes] != prefix.0[..full_bytes] {
+        return false;
+    }
+    let rem = len % 8;
+    if rem == 0 {
+        return true;
+    }
+    let mask = 0xFFu8 << (8 - rem);
+    (addr.0[full_bytes] & mask) == (prefix.0[full_bytes] & mask)
+}
+
+impl RoutingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RoutingTable::default()
+    }
+
+    /// Add a host route (`/128`).
+    pub fn add_host(&mut self, dst: Ipv6Addr, next_hop: Ipv6Addr) {
+        self.add(Route {
+            prefix: dst,
+            prefix_len: 128,
+            next_hop,
+        });
+    }
+
+    /// Add a default route.
+    pub fn set_default(&mut self, next_hop: Ipv6Addr) {
+        self.add(Route {
+            prefix: Ipv6Addr::UNSPECIFIED,
+            prefix_len: 0,
+            next_hop,
+        });
+    }
+
+    /// Add an arbitrary prefix route, replacing an identical prefix.
+    pub fn add(&mut self, route: Route) {
+        assert!(route.prefix_len <= 128);
+        if let Some(existing) = self
+            .routes
+            .iter_mut()
+            .find(|r| r.prefix == route.prefix && r.prefix_len == route.prefix_len)
+        {
+            *existing = route;
+            return;
+        }
+        self.routes.push(route);
+        // Keep sorted by descending prefix length so lookup is a
+        // simple linear scan with first-match-wins.
+        self.routes.sort_by_key(|r| std::cmp::Reverse(r.prefix_len));
+    }
+
+    /// Remove all routes via a given next hop (used when a link dies).
+    pub fn remove_via(&mut self, next_hop: &Ipv6Addr) -> usize {
+        let before = self.routes.len();
+        self.routes.retain(|r| r.next_hop != *next_hop);
+        before - self.routes.len()
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: &Ipv6Addr) -> Option<Ipv6Addr> {
+        self.routes
+            .iter()
+            .find(|r| prefix_matches(dst, &r.prefix, r.prefix_len))
+            .map(|r| r.next_hop)
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// `true` if the table has no routes.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Iterate over all routes (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.routes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_route_wins_over_default() {
+        let mut rt = RoutingTable::new();
+        rt.set_default(Ipv6Addr::of_node(1));
+        rt.add_host(Ipv6Addr::of_node(5), Ipv6Addr::of_node(2));
+        assert_eq!(rt.lookup(&Ipv6Addr::of_node(5)), Some(Ipv6Addr::of_node(2)));
+        assert_eq!(rt.lookup(&Ipv6Addr::of_node(9)), Some(Ipv6Addr::of_node(1)));
+    }
+
+    #[test]
+    fn no_route_when_empty() {
+        let rt = RoutingTable::new();
+        assert_eq!(rt.lookup(&Ipv6Addr::of_node(5)), None);
+    }
+
+    #[test]
+    fn prefix_match_on_bit_boundary() {
+        let mut rt = RoutingTable::new();
+        let mut p = [0u8; 16];
+        p[0] = 0xfe;
+        p[1] = 0x80;
+        rt.add(Route {
+            prefix: Ipv6Addr(p),
+            prefix_len: 10,
+            next_hop: Ipv6Addr::of_node(3),
+        });
+        assert_eq!(rt.lookup(&Ipv6Addr::of_node(7)), Some(Ipv6Addr::of_node(3)));
+        // fec0::/10 does not match fe80::/10.
+        let mut q = [0u8; 16];
+        q[0] = 0xfe;
+        q[1] = 0xc0;
+        assert_eq!(rt.lookup(&Ipv6Addr(q)), None);
+    }
+
+    #[test]
+    fn longer_prefix_preferred() {
+        let mut rt = RoutingTable::new();
+        let mut p64 = [0u8; 16];
+        p64[0] = 0xfe;
+        p64[1] = 0x80;
+        rt.add(Route {
+            prefix: Ipv6Addr(p64),
+            prefix_len: 64,
+            next_hop: Ipv6Addr::of_node(1),
+        });
+        rt.add_host(Ipv6Addr::of_node(5), Ipv6Addr::of_node(2));
+        assert_eq!(rt.lookup(&Ipv6Addr::of_node(5)), Some(Ipv6Addr::of_node(2)));
+        assert_eq!(rt.lookup(&Ipv6Addr::of_node(6)), Some(Ipv6Addr::of_node(1)));
+    }
+
+    #[test]
+    fn replace_same_prefix() {
+        let mut rt = RoutingTable::new();
+        rt.add_host(Ipv6Addr::of_node(5), Ipv6Addr::of_node(1));
+        rt.add_host(Ipv6Addr::of_node(5), Ipv6Addr::of_node(2));
+        assert_eq!(rt.len(), 1);
+        assert_eq!(rt.lookup(&Ipv6Addr::of_node(5)), Some(Ipv6Addr::of_node(2)));
+    }
+
+    #[test]
+    fn remove_via_next_hop() {
+        let mut rt = RoutingTable::new();
+        rt.add_host(Ipv6Addr::of_node(5), Ipv6Addr::of_node(1));
+        rt.add_host(Ipv6Addr::of_node(6), Ipv6Addr::of_node(1));
+        rt.add_host(Ipv6Addr::of_node(7), Ipv6Addr::of_node(2));
+        assert_eq!(rt.remove_via(&Ipv6Addr::of_node(1)), 2);
+        assert_eq!(rt.len(), 1);
+        assert_eq!(rt.lookup(&Ipv6Addr::of_node(5)), None);
+    }
+}

@@ -1,0 +1,358 @@
+//! The shared radio medium.
+//!
+//! Protocol crates drive the medium with three calls:
+//!
+//! 1. [`Medium::begin_tx`] when a frame's first bit hits the air,
+//! 2. [`Medium::finish_tx`] when its last bit has been sent — this
+//!    returns, per listening node, whether the frame arrived intact,
+//! 3. [`Medium::carrier_sense`] for CSMA/CA clear-channel assessment.
+//!
+//! A frame is received correctly by a listener iff:
+//! * the transmitter is in range of the listener,
+//! * no *other* frame audible at the listener overlapped it in time on
+//!   the same channel (collision),
+//! * the per-link Gilbert–Elliott chain and the per-channel interferer
+//!   both let it through.
+//!
+//! Whether a node was actually *listening* (right channel, right time
+//! window) is the protocol layer's business — the BLE link layer knows
+//! its connection-event windows, the 802.15.4 MAC is always-on — so
+//! `finish_tx` takes the candidate listener set from the caller.
+
+use crate::channel::Channel;
+use crate::loss::{LossConfig, NoiseModel};
+use mindgap_sim::{Duration, Instant, NodeId, Rng};
+
+/// Handle to an in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(u64);
+
+/// Parameters of a transmission.
+#[derive(Debug, Clone, Copy)]
+pub struct TxParams {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Channel the frame is sent on.
+    pub channel: Channel,
+    /// Global time of the first bit.
+    pub start: Instant,
+    /// On-air duration (see [`crate::airtime`]).
+    pub airtime: Duration,
+}
+
+/// Per-listener reception verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Frame arrived intact.
+    Ok,
+    /// Another audible frame overlapped on the same channel.
+    Collision,
+    /// Lost to the channel-error process (noise/interference).
+    ChannelError,
+    /// Transmitter not in radio range of this listener.
+    OutOfRange,
+}
+
+impl RxOutcome {
+    /// `true` only for [`RxOutcome::Ok`].
+    pub fn is_ok(self) -> bool {
+        matches!(self, RxOutcome::Ok)
+    }
+}
+
+/// Medium construction parameters.
+#[derive(Debug, Clone)]
+pub struct MediumConfig {
+    /// Number of nodes sharing the medium.
+    pub n_nodes: usize,
+    /// Channel-error process applied to every directed link.
+    pub loss: LossConfig,
+    /// Seed for the medium's private RNG stream.
+    pub seed: u64,
+}
+
+struct ActiveTx {
+    id: u64,
+    src: NodeId,
+    channel: Channel,
+    start: Instant,
+    end: Instant,
+    /// Sources of other frames that overlapped this one in time on the
+    /// same channel. A listener that can hear any of them sees a
+    /// collision.
+    interferers: Vec<NodeId>,
+}
+
+/// The shared radio medium (one per band in practice; nothing stops a
+/// caller from mixing bands — channels compare unequal across bands,
+/// so they never collide).
+pub struct Medium {
+    active: Vec<ActiveTx>,
+    noise: NoiseModel,
+    rng: Rng,
+    next_id: u64,
+    n_nodes: usize,
+    /// `in_range[a*n+b]`: can `b` hear `a`? Default: everyone hears
+    /// everyone (the paper's nodes share one room, §4.1).
+    in_range: Vec<bool>,
+    collisions_observed: u64,
+}
+
+impl Medium {
+    /// Build a medium.
+    pub fn new(cfg: MediumConfig) -> Self {
+        Medium {
+            active: Vec::new(),
+            noise: NoiseModel::uniform(cfg.n_nodes, cfg.loss),
+            rng: Rng::seed_from_u64(cfg.seed),
+            next_id: 0,
+            n_nodes: cfg.n_nodes,
+            in_range: vec![true; cfg.n_nodes * cfg.n_nodes],
+            collisions_observed: 0,
+        }
+    }
+
+    /// Additional static loss probability on one channel (jammer).
+    pub fn set_channel_interference(&mut self, channel: Channel, per: f64) {
+        self.noise.set_channel_extra(channel, per);
+    }
+
+    /// Mark the directed pair `a → b` (and `b → a` if `symmetric`) as
+    /// out of radio range.
+    pub fn set_out_of_range(&mut self, a: NodeId, b: NodeId, symmetric: bool) {
+        self.in_range[a.index() * self.n_nodes + b.index()] = false;
+        if symmetric {
+            self.in_range[b.index() * self.n_nodes + a.index()] = false;
+        }
+    }
+
+    /// Mark the directed pair `a → b` (and `b → a` if `symmetric`) as
+    /// in radio range again.
+    pub fn set_in_range(&mut self, a: NodeId, b: NodeId, symmetric: bool) {
+        self.in_range[a.index() * self.n_nodes + b.index()] = true;
+        if symmetric {
+            self.in_range[b.index() * self.n_nodes + a.index()] = true;
+        }
+    }
+
+    /// Can `listener` hear `src`?
+    #[inline]
+    pub fn hears(&self, src: NodeId, listener: NodeId) -> bool {
+        src != listener && self.in_range[src.index() * self.n_nodes + listener.index()]
+    }
+
+    /// Register the start of a transmission.
+    pub fn begin_tx(&mut self, p: TxParams) -> TxId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let end = p.start + p.airtime;
+        // Mutual interference with every already-active frame on the
+        // same channel.
+        let mut interferers = Vec::new();
+        for tx in &mut self.active {
+            if tx.channel == p.channel && tx.end > p.start {
+                tx.interferers.push(p.src);
+                interferers.push(tx.src);
+                self.collisions_observed += 1;
+            }
+        }
+        self.active.push(ActiveTx {
+            id,
+            src: p.src,
+            channel: p.channel,
+            start: p.start,
+            end,
+            interferers,
+        });
+        TxId(id)
+    }
+
+    /// Finish a transmission and compute reception verdicts for each
+    /// candidate listener. The transmission is removed from the medium.
+    ///
+    /// Panics if `id` is unknown (i.e. already finished) — finishing a
+    /// frame twice is a protocol-layer bug worth failing loudly on.
+    pub fn finish_tx(&mut self, id: TxId, listeners: &[NodeId]) -> Vec<(NodeId, RxOutcome)> {
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.id == id.0)
+            .expect("finish_tx: unknown or already finished transmission");
+        let tx = self.active.swap_remove(idx);
+        listeners
+            .iter()
+            .map(|&l| (l, self.verdict(&tx, l)))
+            .collect()
+    }
+
+    fn verdict(&mut self, tx: &ActiveTx, listener: NodeId) -> RxOutcome {
+        if !self.hears(tx.src, listener) {
+            return RxOutcome::OutOfRange;
+        }
+        if tx
+            .interferers
+            .iter()
+            .any(|&src| src == listener || self.hears(src, listener))
+        {
+            return RxOutcome::Collision;
+        }
+        if self
+            .noise
+            .frame_lost(tx.src.index(), listener.index(), tx.channel, &mut self.rng)
+        {
+            return RxOutcome::ChannelError;
+        }
+        RxOutcome::Ok
+    }
+
+    /// Clear-channel assessment: is any frame audible to `node` on
+    /// `channel` at time `now`? Used by the 802.15.4 CSMA/CA MAC.
+    pub fn carrier_sense(&self, node: NodeId, channel: Channel, now: Instant) -> bool {
+        self.active.iter().any(|tx| {
+            tx.channel == channel && tx.start <= now && now < tx.end && self.hears(tx.src, node)
+        })
+    }
+
+    /// Number of pairwise frame overlaps seen so far (diagnostic).
+    pub fn collisions_observed(&self) -> u64 {
+        self.collisions_observed
+    }
+
+    /// Number of currently in-flight transmissions (diagnostic).
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::airtime;
+
+    fn medium(n: usize) -> Medium {
+        Medium::new(MediumConfig {
+            n_nodes: n,
+            loss: LossConfig::LOSSLESS,
+            seed: 42,
+        })
+    }
+
+    fn tx(src: u16, ch: u8, start_us: u64, len_payload: u32) -> TxParams {
+        TxParams {
+            src: NodeId(src),
+            channel: Channel::ble_data(ch),
+            start: Instant::from_micros(start_us),
+            airtime: airtime::ble_data_1m(len_payload),
+        }
+    }
+
+    #[test]
+    fn clean_delivery() {
+        let mut m = medium(2);
+        let id = m.begin_tx(tx(0, 5, 0, 100));
+        let out = m.finish_tx(id, &[NodeId(1)]);
+        assert_eq!(out, vec![(NodeId(1), RxOutcome::Ok)]);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn overlapping_same_channel_collides() {
+        let mut m = medium(3);
+        let a = m.begin_tx(tx(0, 5, 0, 100));
+        let b = m.begin_tx(tx(1, 5, 100, 100)); // overlaps a
+        let out_a = m.finish_tx(a, &[NodeId(2)]);
+        let out_b = m.finish_tx(b, &[NodeId(2)]);
+        assert_eq!(out_a[0].1, RxOutcome::Collision);
+        assert_eq!(out_b[0].1, RxOutcome::Collision);
+        assert_eq!(m.collisions_observed(), 1);
+    }
+
+    #[test]
+    fn different_channels_do_not_collide() {
+        let mut m = medium(3);
+        let a = m.begin_tx(tx(0, 5, 0, 100));
+        let b = m.begin_tx(tx(1, 6, 0, 100));
+        assert_eq!(m.finish_tx(a, &[NodeId(2)])[0].1, RxOutcome::Ok);
+        assert_eq!(m.finish_tx(b, &[NodeId(2)])[0].1, RxOutcome::Ok);
+    }
+
+    #[test]
+    fn sequential_frames_do_not_collide() {
+        let mut m = medium(2);
+        let a = m.begin_tx(tx(0, 5, 0, 100)); // ends at 880 µs
+        let out = m.finish_tx(a, &[NodeId(1)]);
+        assert_eq!(out[0].1, RxOutcome::Ok);
+        let b = m.begin_tx(tx(1, 5, 1000, 100));
+        assert_eq!(m.finish_tx(b, &[NodeId(0)])[0].1, RxOutcome::Ok);
+    }
+
+    #[test]
+    fn out_of_range_listener() {
+        let mut m = medium(2);
+        m.set_out_of_range(NodeId(0), NodeId(1), true);
+        let a = m.begin_tx(tx(0, 5, 0, 10));
+        assert_eq!(m.finish_tx(a, &[NodeId(1)])[0].1, RxOutcome::OutOfRange);
+    }
+
+    #[test]
+    fn collision_requires_listener_to_hear_interferer() {
+        // 0 and 1 transmit simultaneously on the same channel, but the
+        // listener 2 cannot hear 1 → no collision from 2's view.
+        let mut m = medium(3);
+        m.set_out_of_range(NodeId(1), NodeId(2), false);
+        let a = m.begin_tx(tx(0, 5, 0, 100));
+        let _b = m.begin_tx(tx(1, 5, 0, 100));
+        assert_eq!(m.finish_tx(a, &[NodeId(2)])[0].1, RxOutcome::Ok);
+    }
+
+    #[test]
+    fn jammed_channel_loses_frames() {
+        let mut m = medium(2);
+        m.set_channel_interference(Channel::ble_data(22), 1.0);
+        let a = m.begin_tx(tx(0, 22, 0, 10));
+        assert_eq!(m.finish_tx(a, &[NodeId(1)])[0].1, RxOutcome::ChannelError);
+    }
+
+    #[test]
+    fn carrier_sense_sees_active_frames() {
+        let mut m = medium(2);
+        let ch = Channel::ble_data(5);
+        let id = m.begin_tx(tx(0, 5, 0, 100)); // 880 µs airtime
+        assert!(m.carrier_sense(NodeId(1), ch, Instant::from_micros(10)));
+        assert!(m.carrier_sense(NodeId(1), ch, Instant::from_micros(800)));
+        assert!(!m.carrier_sense(NodeId(1), ch, Instant::from_micros(900)));
+        assert!(!m.carrier_sense(NodeId(1), Channel::ble_data(6), Instant::from_micros(10)));
+        // Transmitter does not carrier-sense its own frame.
+        assert!(!m.carrier_sense(NodeId(0), ch, Instant::from_micros(10)));
+        let _ = m.finish_tx(id, &[]);
+    }
+
+    #[test]
+    fn sender_listening_to_itself_is_out_of_range() {
+        let mut m = medium(2);
+        let a = m.begin_tx(tx(0, 5, 0, 10));
+        assert_eq!(m.finish_tx(a, &[NodeId(0)])[0].1, RxOutcome::OutOfRange);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_finish_panics() {
+        let mut m = medium(2);
+        let a = m.begin_tx(tx(0, 5, 0, 10));
+        let _ = m.finish_tx(a, &[]);
+        let _ = m.finish_tx(a, &[]);
+    }
+
+    #[test]
+    fn listener_transmitting_during_frame_collides() {
+        // Node 1 starts its own frame while 0's frame is in the air; at
+        // node 1 the frames overlap, so 0's frame is corrupted there
+        // (half-duplex radio).
+        let mut m = medium(3);
+        let a = m.begin_tx(tx(0, 5, 0, 100));
+        let b = m.begin_tx(tx(1, 5, 50, 10));
+        let out = m.finish_tx(a, &[NodeId(1)]);
+        assert_eq!(out[0].1, RxOutcome::Collision);
+        let _ = m.finish_tx(b, &[]);
+    }
+}

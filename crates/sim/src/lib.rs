@@ -1,0 +1,73 @@
+//! # mindgap-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the foundation of the `mindgap` reproduction of
+//! *“Mind the Gap: Multi-hop IPv6 over BLE in the IoT”* (CoNEXT ’21).
+//! It provides the minimal, fully deterministic machinery every other
+//! crate builds on:
+//!
+//! * [`Instant`] / [`Duration`] — integer nanosecond simulated time.
+//!   Nanosecond resolution matters: the paper's headline phenomenon
+//!   (*connection shading*) is driven by clock drifts of a few
+//!   microseconds per second, which must accumulate without rounding
+//!   artefacts over multi-hour simulated experiments.
+//! * [`Clock`] — a per-node local clock with parts-per-million drift.
+//!   BLE link-layer timers run in the *owning node's* local time; the
+//!   kernel converts them to global simulation time. Relative drift
+//!   between two nodes' clocks is what makes independently scheduled
+//!   connection events slide past each other.
+//! * [`EventQueue`] — a time-ordered, insertion-stable priority queue
+//!   generic over the event payload. Ties in timestamp are broken by
+//!   insertion order so simulations are bit-reproducible.
+//! * [`Rng`] — a seedable xoshiro256★★ generator. We ship our own small
+//!   implementation (public-domain algorithm) instead of depending on
+//!   the `rand` crate in the kernel so that simulation results can never
+//!   change under us due to an upstream algorithm swap.
+//! * [`Trace`] — a lightweight structured trace bus replacing the
+//!   paper's STDIO event logging (§4.2 of the paper).
+//!
+//! The kernel deliberately knows nothing about radios, packets or
+//! protocols; higher crates define their own event enums and drive the
+//! queue from an orchestration loop (see `mindgap-core`'s `World`).
+//!
+//! ## Determinism contract
+//!
+//! Running the same simulation twice with the same master seed produces
+//! identical event sequences, metrics and traces. Everything stochastic
+//! derives from [`Rng`] streams forked from the master seed via
+//! [`Rng::fork`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod queue;
+mod rng;
+mod time;
+mod trace;
+
+pub use clock::Clock;
+pub use queue::{EventQueue, ScheduledEvent};
+pub use rng::Rng;
+pub use time::{Duration, Instant};
+pub use trace::{Trace, TraceEvent, TraceKind};
+
+/// Identifies a simulated node (board) in the testbed.
+///
+/// Node ids are small dense integers assigned by the topology builder;
+/// they double as indices into per-node state tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index form for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}

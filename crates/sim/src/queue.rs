@@ -1,0 +1,217 @@
+//! The event queue at the heart of the discrete-event simulation.
+//!
+//! [`EventQueue`] is a min-heap ordered by firing time with a
+//! monotonically increasing sequence number as tie-breaker, so events
+//! scheduled for the same instant fire in insertion order. This
+//! stability is part of the kernel's determinism contract.
+//!
+//! Scheduled events can be cancelled by token. Cancellation is lazy:
+//! the entry stays in the heap and is skipped on pop, which keeps
+//! `cancel` O(1) — important because BLE connection teardown cancels
+//! many pending timers at once.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::{Duration, Instant};
+
+/// Token identifying a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduledEvent(u64);
+
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered, insertion-stable event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: Instant,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: Instant::ZERO,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; it panics in debug
+    /// builds and is clamped to `now` in release builds so a long
+    /// experiment degrades instead of aborting.
+    pub fn schedule_at(&mut self, at: Instant, payload: E) -> ScheduledEvent {
+        debug_assert!(at >= self.now, "scheduling in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        ScheduledEvent(seq)
+    }
+
+    /// Schedule `payload` after global span `delay`.
+    pub fn schedule_in(&mut self, delay: Duration, payload: E) -> ScheduledEvent {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, token: ScheduledEvent) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Pop the next live event, advancing `now` to its timestamp.
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        loop {
+            let seq = self.heap.peek()?.seq;
+            if self.cancelled.contains(&seq) {
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(self.heap.peek().unwrap().at);
+        }
+    }
+
+    /// Number of entries in the heap, *including* lazily cancelled ones.
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_millis(30), "c");
+        q.schedule_at(Instant::from_millis(10), "a");
+        q.schedule_at(Instant::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Duration::from_millis(75), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Instant::from_millis(75));
+        assert_eq!(q.now(), t);
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_at(Instant::from_millis(1), "dead");
+        q.schedule_at(Instant::from_millis(2), "alive");
+        q.cancel(tok);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("alive"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_at(Instant::from_millis(1), 1);
+        assert!(q.pop().is_some());
+        q.cancel(tok); // must not panic or affect later events
+        q.schedule_at(Instant::from_millis(2), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_at(Instant::from_millis(1), 1);
+        q.schedule_at(Instant::from_millis(9), 9);
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(Instant::from_millis(9)));
+    }
+
+    #[test]
+    fn is_empty_accounts_for_cancellations() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        let tok = q.schedule_in(Duration::from_secs(1), 0);
+        assert!(!q.is_empty());
+        q.cancel(tok);
+        assert!(q.is_empty());
+    }
+}

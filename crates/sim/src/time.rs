@@ -1,0 +1,349 @@
+//! Simulated time: integer nanoseconds since simulation start.
+//!
+//! We use plain `u64` nanoseconds wrapped in newtypes. That gives a
+//! range of ~584 years — far beyond the paper's longest experiment
+//! (24 h, Fig. 13) — with no floating-point rounding in the hot path.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A point in *global* simulated time (nanoseconds since start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(u64);
+
+/// A span of simulated time in nanoseconds.
+///
+/// Also used for durations expressed in a node's *local* clock; the
+/// [`crate::Clock`] type converts between domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Instant {
+    /// Simulation start.
+    pub const ZERO: Instant = Instant(0);
+    /// The far future; used as a sentinel for "never".
+    pub const MAX: Instant = Instant(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Instant(ns)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Instant(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Instant(ms * 1_000_000)
+    }
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Instant(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[inline]
+    pub const fn nanos(self) -> u64 {
+        self.0
+    }
+    /// Whole microseconds since start (truncating).
+    #[inline]
+    pub const fn micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// Whole milliseconds since start (truncating).
+    #[inline]
+    pub const fn millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    /// Seconds since start as floating point (for metrics/plots only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub fn saturating_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked duration since `earlier`; `None` if `earlier` is later.
+    #[inline]
+    pub fn checked_since(self, earlier: Instant) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+    /// Longest representable span; sentinel for "forever".
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+    /// Construct from fractional seconds. Panics on negative input.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0, "negative duration");
+        Duration((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn nanos(self) -> u64 {
+        self.0
+    }
+    /// Whole microseconds (truncating).
+    #[inline]
+    pub const fn micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// Whole milliseconds (truncating).
+    #[inline]
+    pub const fn millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    /// Fractional seconds (for metrics/plots only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `true` if this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by an integer factor, saturating.
+    #[inline]
+    pub fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "negative Instant difference");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "negative Duration difference");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        debug_assert!(self.0 >= rhs.0, "negative Duration difference");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Div<Duration> for Duration {
+    type Output = u64;
+    /// How many whole `rhs` spans fit into `self`.
+    #[inline]
+    fn div(self, rhs: Duration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.1}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Duration::from_secs(1), Duration::from_millis(1_000));
+        assert_eq!(Duration::from_millis(1), Duration::from_micros(1_000));
+        assert_eq!(Duration::from_micros(1), Duration::from_nanos(1_000));
+        assert_eq!(Instant::from_secs(2).nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t0 = Instant::from_millis(100);
+        let d = Duration::from_micros(150);
+        let t1 = t0 + d;
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1 - d, t0);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(
+            Instant::ZERO.saturating_since(Instant::from_secs(1)),
+            Duration::ZERO
+        );
+        assert_eq!(Instant::MAX + Duration::from_secs(1), Instant::MAX);
+        assert_eq!(
+            Duration::from_millis(1).saturating_sub(Duration::from_secs(1)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn division_counts_whole_spans() {
+        let itvl = Duration::from_millis(75);
+        assert_eq!(Duration::from_secs(1) / itvl, 13);
+        assert_eq!(Duration::from_secs(1) % itvl, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(format!("{}", Duration::from_micros(150)), "150.0us");
+        assert_eq!(format!("{}", Duration::from_millis(75)), "75.000ms");
+        assert_eq!(format!("{}", Duration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", Duration::from_nanos(10)), "10ns");
+    }
+
+    #[test]
+    fn checked_since() {
+        let a = Instant::from_secs(1);
+        let b = Instant::from_secs(2);
+        assert_eq!(b.checked_since(a), Some(Duration::from_secs(1)));
+        assert_eq!(a.checked_since(b), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! The closed-form connection-shading model of §6.2.
+//!
+//! Two connections sharing a node shade each other when their events
+//! overlap. With a constant relative clock drift the offset between
+//! their event trains moves linearly, wrapping every connection
+//! interval, so overlaps recur with period `ConnItvl / ClkDrift`.
+
+use mindgap_sim::Duration;
+
+/// Maximum time until the events of two same-interval connections
+/// overlap: `ConnItvl / ClkDrift` (paper §6.2). `rel_drift_ppm` is the
+/// relative drift of the two clocks pacing the connections.
+pub fn time_to_overlap(conn_interval: Duration, rel_drift_ppm: f64) -> Duration {
+    assert!(rel_drift_ppm > 0.0, "zero drift never overlaps");
+    // drift of D ppm = D µs of slip per second.
+    let seconds = conn_interval.as_secs_f64() / (rel_drift_ppm * 1e-6);
+    Duration::from_secs_f64(seconds)
+}
+
+/// Shading events per hour for one connection pair (paper §6.2).
+pub fn shading_events_per_hour(conn_interval: Duration, rel_drift_ppm: f64) -> f64 {
+    3600.0 / time_to_overlap(conn_interval, rel_drift_ppm).as_secs_f64()
+}
+
+/// Expected shading events per hour across a network: `pairs` is the
+/// number of connection pairs that satisfy the shading preconditions
+/// (same interval, shared node, ≥ 1 subordinate role). The paper
+/// applies the per-pair rate to its 14 tree links.
+pub fn network_shading_events_per_hour(
+    conn_interval: Duration,
+    rel_drift_ppm: f64,
+    pairs: usize,
+) -> f64 {
+    shading_events_per_hour(conn_interval, rel_drift_ppm) * pairs as f64
+}
+
+/// How long one shading episode lasts: the offset must traverse the
+/// overlap region of roughly the two events' combined radio time.
+pub fn episode_duration(combined_event_len: Duration, rel_drift_ppm: f64) -> Duration {
+    assert!(rel_drift_ppm > 0.0);
+    Duration::from_secs_f64(combined_event_len.as_secs_f64() / (rel_drift_ppm * 1e-6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worst_case() {
+        // §6.2: 7.5 ms interval, 500 µs/s drift → overlap every 15 s,
+        // 240 events/hour.
+        let t = time_to_overlap(Duration::from_micros(7_500), 500.0);
+        assert!((t.as_secs_f64() - 15.0).abs() < 0.01);
+        let per_h = shading_events_per_hour(Duration::from_micros(7_500), 500.0);
+        assert!((per_h - 240.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn paper_typical_case() {
+        // §6.2: 75 ms interval, 5 µs/s drift → every 4.17 h → 0.24/h.
+        let t = time_to_overlap(Duration::from_millis(75), 5.0);
+        assert!((t.as_secs_f64() / 3600.0 - 4.17).abs() < 0.01);
+        let per_h = shading_events_per_hour(Duration::from_millis(75), 5.0);
+        assert!((per_h - 0.24).abs() < 0.005);
+    }
+
+    #[test]
+    fn paper_network_estimate() {
+        // §6.2: 14 links → 3.4 events/hour → 80.6 per 24 h.
+        let per_h = network_shading_events_per_hour(Duration::from_millis(75), 5.0, 14);
+        assert!((per_h - 3.36).abs() < 0.05, "{per_h}");
+        assert!((per_h * 24.0 - 80.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_drift_example() {
+        // §6.1: 36 ms/h relative drift = 10 µs/s; at 100 ms interval
+        // the offset wraps every 10 000 s ≈ 2.78 h.
+        let t = time_to_overlap(Duration::from_millis(100), 10.0);
+        assert!((t.as_secs_f64() - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn episodes_scale_with_event_length() {
+        let short = episode_duration(Duration::from_millis(1), 5.0);
+        let long = episode_duration(Duration::from_millis(5), 5.0);
+        assert!((long.as_secs_f64() / short.as_secs_f64() - 5.0).abs() < 1e-6);
+        // 5 ms of combined event at 5 µs/s → 1000 s episode.
+        assert!((long.as_secs_f64() - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_drift_rejected() {
+        let _ = time_to_overlap(Duration::from_millis(75), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # mindgap-testbed — reproducible experiments (paper §4 / Appendix A)
+//!
+//! The simulation counterpart of the paper's FIT IoT-lab deployment
+//! and YAML-driven experimentation framework:
+//!
+//! * [`topology`] — the 15-node tree (max 3 hops, mean 2.14) and
+//!   14-hop line of Fig. 6, with statconn edges (downstream nodes
+//!   coordinate, upstream nodes advertise — giving the consumer its
+//!   three subordinate connections, as in Fig. 12) and complete static
+//!   host routes in both directions.
+//! * [`runner`] — one-call experiment execution: build the world, form
+//!   the network, run the workload, collect [`mindgap_core::Records`].
+//! * [`analysis`] — the §6.2 closed-form shading model
+//!   (`ConnItvl / ClkDrift`) used to sanity-check measured loss
+//!   counts.
+//! * [`stats`] — CDF/percentile helpers for the figures.
+//! * [`tables`] — the qualitative data of Table 1 (radio comparison)
+//!   and Table 2 (open-source IP-over-BLE implementations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod runner;
+pub mod stats;
+pub mod tables;
+pub mod throughput;
+pub mod topology;
+
+pub use runner::{run_ble, run_ieee, ExperimentResult, ExperimentSpec};
+pub use throughput::{measure_single_link, measure_single_link_cfg, ThroughputResult};
+pub use topology::Topology;

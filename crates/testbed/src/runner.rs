@@ -1,0 +1,200 @@
+//! One-call experiment execution.
+//!
+//! An [`ExperimentSpec`] captures everything the paper's YAML
+//! descriptions do (§A.3): topology, interval policy, workload,
+//! duration, seed. [`run_ble`] / [`run_ieee`] build the world, let the
+//! network form during the warmup, then measure for the configured
+//! duration and return an [`ExperimentResult`].
+
+use mindgap_core::{
+    AppConfig, IeeeConfig, IeeeWorld, IntervalPolicy, Records, World, WorldConfig,
+};
+use mindgap_sim::{Duration, Instant, NodeId};
+
+use crate::topology::Topology;
+
+/// Full description of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Network shape.
+    pub topology: Topology,
+    /// Connection-interval policy (BLE only).
+    pub policy: IntervalPolicy,
+    /// Producer base interval.
+    pub producer_interval: Duration,
+    /// Producer jitter (±).
+    pub producer_jitter: Duration,
+    /// Measured duration (after warmup).
+    pub duration: Duration,
+    /// Warmup for network formation (not measured).
+    pub warmup: Duration,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-node clock drift range in ppm (±). The paper measured up
+    /// to 6 µs/s relative drift between board pairs (§6.2).
+    pub clock_ppm_range: f64,
+}
+
+impl ExperimentSpec {
+    /// The paper's defaults: given topology and policy, producer
+    /// interval 1 s ±0.5 s, 1 h runtime.
+    pub fn paper_default(topology: Topology, policy: IntervalPolicy, seed: u64) -> Self {
+        ExperimentSpec {
+            topology,
+            policy,
+            producer_interval: Duration::from_secs(1),
+            producer_jitter: Duration::from_millis(500),
+            duration: Duration::from_secs(3600),
+            warmup: Duration::from_secs(30),
+            seed,
+            clock_ppm_range: 3.0,
+        }
+    }
+
+    /// Override the clock-drift range (±ppm).
+    pub fn with_clock_ppm(mut self, ppm: f64) -> Self {
+        self.clock_ppm_range = ppm;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Shorten the run (quick mode for CI and `--quick` benches).
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Adjust the producer interval, keeping the paper's ±50 % jitter.
+    pub fn with_producer_interval(mut self, interval: Duration) -> Self {
+        self.producer_interval = interval;
+        self.producer_jitter = interval / 2;
+        self
+    }
+}
+
+/// Everything a figure needs from one run.
+pub struct ExperimentResult {
+    /// Measurement records (collected after warmup).
+    pub records: Records,
+    /// BLE connection losses during measurement (equals
+    /// `records.conn_losses.len()`, kept for convenience).
+    pub conn_losses: usize,
+    /// statconn reconnect count summed over nodes.
+    pub reconnects: u64,
+    /// mbuf-pool drops summed over nodes (BLE).
+    pub pool_drops: u64,
+    /// Per-node skipped-event counts (BLE shading signal).
+    pub skipped_events: Vec<u64>,
+    /// Label for tables ("tree static 75ms" …).
+    pub label: String,
+}
+
+/// Run a BLE experiment.
+pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
+    let app = AppConfig {
+        producer_interval: spec.producer_interval,
+        producer_jitter: spec.producer_jitter,
+        warmup: spec.warmup,
+        ..AppConfig::paper_default(spec.topology.producers(), spec.topology.consumer)
+    };
+    let mut cfg = WorldConfig::paper_default(spec.seed, spec.policy);
+    cfg.clock_ppm_range = spec.clock_ppm_range;
+    let mut world = World::new(cfg, spec.topology.node_configs(), app);
+    // Formation phase.
+    world.run_until(Instant::ZERO + spec.warmup);
+    world.reset_records();
+    let end = Instant::ZERO + spec.warmup + spec.duration;
+    world.run_until(end);
+    // Drain: let in-flight exchanges finish so PDR is not truncated.
+    world.run_until(end + Duration::from_secs(10));
+
+    let n = spec.topology.len();
+    let reconnects = (0..n as u16).map(|i| world.reconnects(NodeId(i))).sum();
+    let pool_drops = (0..n as u16).map(|i| world.pool_drops(NodeId(i))).sum();
+    let skipped_events = (0..n as u16)
+        .map(|i| world.ll_counters(NodeId(i)).skipped_events)
+        .collect();
+    let records = world.into_records();
+    let conn_losses = records.conn_losses.len();
+    ExperimentResult {
+        conn_losses,
+        reconnects,
+        pool_drops,
+        skipped_events,
+        label: format!(
+            "{} {} producer={}ms",
+            spec.topology.name,
+            spec.policy.label(),
+            spec.producer_interval.millis()
+        ),
+        records,
+    }
+}
+
+/// Run an IEEE 802.15.4 experiment (interval policy is ignored).
+pub fn run_ieee(spec: &ExperimentSpec) -> ExperimentResult {
+    let app = AppConfig {
+        producer_interval: spec.producer_interval,
+        producer_jitter: spec.producer_jitter,
+        warmup: spec.warmup,
+        ..AppConfig::paper_default(spec.topology.producers(), spec.topology.consumer)
+    };
+    let cfg = IeeeConfig::paper_default(spec.seed);
+    let mut world = IeeeWorld::new(cfg, spec.topology.node_configs(), app);
+    let end = Instant::ZERO + spec.warmup + spec.duration;
+    world.run_until(end);
+    world.run_until(end + Duration::from_secs(10));
+    let records = world.into_records();
+    ExperimentResult {
+        conn_losses: 0,
+        reconnects: 0,
+        pool_drops: 0,
+        skipped_events: Vec::new(),
+        label: format!(
+            "{} 802.15.4 producer={}ms",
+            spec.topology.name,
+            spec.producer_interval.millis()
+        ),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_tree_run_delivers() {
+        let spec = ExperimentSpec::paper_default(
+            Topology::paper_tree(),
+            IntervalPolicy::Static(Duration::from_millis(75)),
+            42,
+        )
+        .with_duration(Duration::from_secs(60));
+        let res = run_ble(&spec);
+        assert!(res.records.total_sent() > 500, "{}", res.records.total_sent());
+        assert!(
+            res.records.coap_pdr() > 0.95,
+            "tree PDR {}",
+            res.records.coap_pdr()
+        );
+    }
+
+    #[test]
+    fn quick_ieee_run_delivers() {
+        let spec = ExperimentSpec::paper_default(
+            Topology::paper_tree(),
+            IntervalPolicy::Static(Duration::from_millis(75)),
+            42,
+        )
+        .with_duration(Duration::from_secs(60));
+        let res = run_ieee(&spec);
+        assert!(res.records.total_sent() > 500);
+        assert!(res.records.coap_pdr() > 0.5);
+    }
+}

@@ -1,0 +1,222 @@
+//! The paper's qualitative tables as data.
+//!
+//! Table 1 compares common IoT radios on five axes; Table 2 compares
+//! open-source IP-over-BLE implementations. Neither is measured — they
+//! condense domain knowledge — so this module encodes them as typed
+//! constants and renders them the way the paper prints them.
+
+/// Qualitative rating: the paper's filled/partial/empty circles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rating {
+    /// Low support / poor.
+    Low,
+    /// Medium.
+    Medium,
+    /// High support / good.
+    High,
+}
+
+impl Rating {
+    /// Terminal rendering.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            Rating::Low => "○",
+            Rating::Medium => "◐",
+            Rating::High => "●",
+        }
+    }
+}
+
+/// One radio column of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct RadioProfile {
+    /// Technology name.
+    pub name: &'static str,
+    /// Achievable application throughput.
+    pub throughput: Rating,
+    /// Radio range.
+    pub range: Rating,
+    /// Feasible network size.
+    pub node_count: Rating,
+    /// Energy per delivered bit.
+    pub energy_efficiency: Rating,
+    /// Presence in consumer devices.
+    pub availability: Rating,
+}
+
+/// Table 1 — comparison of common IoT radios (paper Table 1).
+pub const TABLE1: [RadioProfile; 5] = [
+    RadioProfile {
+        name: "BLE (mesh)",
+        throughput: Rating::High,
+        range: Rating::Medium,
+        node_count: Rating::High,
+        energy_efficiency: Rating::High,
+        availability: Rating::High,
+    },
+    RadioProfile {
+        name: "BLE (star)",
+        throughput: Rating::High,
+        range: Rating::Low,
+        node_count: Rating::Low,
+        energy_efficiency: Rating::High,
+        availability: Rating::High,
+    },
+    RadioProfile {
+        name: "IEEE 802.15.4",
+        throughput: Rating::Medium,
+        range: Rating::Medium,
+        node_count: Rating::High,
+        energy_efficiency: Rating::Medium,
+        availability: Rating::Low,
+    },
+    RadioProfile {
+        name: "LoRa",
+        throughput: Rating::Low,
+        range: Rating::High,
+        node_count: Rating::Medium,
+        energy_efficiency: Rating::Medium,
+        availability: Rating::Low,
+    },
+    RadioProfile {
+        name: "WLAN",
+        throughput: Rating::High,
+        range: Rating::Medium,
+        node_count: Rating::Medium,
+        energy_efficiency: Rating::Low,
+        availability: Rating::High,
+    },
+];
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Implementation {
+    /// Stack name.
+    pub name: &'static str,
+    /// Runs on many hardware platforms.
+    pub hardware_portability: bool,
+    /// Implements the IPSS GATT service.
+    pub gatt_service: bool,
+    /// Single-hop IP over BLE.
+    pub iob_single_hop: bool,
+    /// Multi-hop IP over BLE.
+    pub iob_multi_hop: bool,
+}
+
+/// Table 2 — open-source IP-over-BLE implementations (paper Table 2),
+/// extended with this repository's own entry.
+pub const TABLE2: [Implementation; 4] = [
+    Implementation {
+        name: "RIOT + NimBLE (paper)",
+        hardware_portability: true,
+        gatt_service: true,
+        iob_single_hop: true,
+        iob_multi_hop: true,
+    },
+    Implementation {
+        name: "BLEach (Contiki)",
+        hardware_portability: false,
+        gatt_service: false,
+        iob_single_hop: true,
+        iob_multi_hop: false,
+    },
+    Implementation {
+        name: "Zephyr",
+        hardware_portability: true,
+        gatt_service: true,
+        iob_single_hop: true,
+        iob_multi_hop: false,
+    },
+    Implementation {
+        name: "mindgap (this repo, simulated)",
+        hardware_portability: true,
+        gatt_service: false,
+        iob_single_hop: true,
+        iob_multi_hop: true,
+    },
+];
+
+/// Render Table 1 for the terminal.
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "Table 1: Comparison of common IoT radios (● high … ○ low)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<22}{:>12}{:>8}{:>12}{:>19}{:>14}\n",
+        "Radio", "Throughput", "Range", "Node count", "Energy efficiency", "Availability"
+    ));
+    for r in TABLE1 {
+        out.push_str(&format!(
+            "{:<22}{:>12}{:>8}{:>12}{:>19}{:>14}\n",
+            r.name,
+            r.throughput.glyph(),
+            r.range.glyph(),
+            r.node_count.glyph(),
+            r.energy_efficiency.glyph(),
+            r.availability.glyph()
+        ));
+    }
+    out
+}
+
+/// Render Table 2 for the terminal.
+pub fn render_table2() -> String {
+    let yn = |b: bool| if b { "yes" } else { "no" };
+    let mut out = String::from("Table 2: Open source IP over BLE implementations\n\n");
+    out.push_str(&format!(
+        "{:<34}{:>12}{:>8}{:>12}{:>11}\n",
+        "Implementation", "Portability", "GATT", "IoB 1-hop", "IoB mesh"
+    ));
+    for i in TABLE2 {
+        out.push_str(&format!(
+            "{:<34}{:>12}{:>8}{:>12}{:>11}\n",
+            i.name,
+            yn(i.hardware_portability),
+            yn(i.gatt_service),
+            yn(i.iob_single_hop),
+            yn(i.iob_multi_hop)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_headline_claims() {
+        let by_name = |n: &str| TABLE1.iter().find(|r| r.name == n).unwrap();
+        // The paper's argument: BLE mesh combines best-in-class energy
+        // efficiency and availability with large networks.
+        let mesh = by_name("BLE (mesh)");
+        assert_eq!(mesh.energy_efficiency, Rating::High);
+        assert_eq!(mesh.availability, Rating::High);
+        assert_eq!(mesh.node_count, Rating::High);
+        // WLAN trades energy for throughput; LoRa the reverse.
+        assert!(by_name("WLAN").energy_efficiency < mesh.energy_efficiency);
+        assert!(by_name("LoRa").throughput < mesh.throughput);
+        // 802.15.4 is not available on consumer devices.
+        assert_eq!(by_name("IEEE 802.15.4").availability, Rating::Low);
+    }
+
+    #[test]
+    fn table2_only_paper_stack_and_ours_do_multihop() {
+        let multihop: Vec<&str> = TABLE2
+            .iter()
+            .filter(|i| i.iob_multi_hop)
+            .map(|i| i.name)
+            .collect();
+        assert_eq!(multihop.len(), 2);
+        assert!(multihop[0].contains("RIOT"));
+        assert!(multihop[1].contains("mindgap"));
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = render_table1();
+        assert!(t1.contains("BLE (mesh)") && t1.contains("LoRa"));
+        let t2 = render_table2();
+        assert!(t2.contains("Zephyr") && t2.contains("BLEach"));
+    }
+}

@@ -1,0 +1,53 @@
+//! BLE vs IEEE 802.15.4, side by side (the paper's §5.3 comparison).
+//!
+//! The same 15-node tree, the same CoAP workload, two radios:
+//! connection-oriented BLE with persistent link-layer ARQ versus
+//! contention-based 802.15.4 with bounded retries.
+//!
+//! Run with `cargo run --release --example radio_comparison`.
+
+use mindgap::core::IntervalPolicy;
+use mindgap::sim::Duration;
+use mindgap::testbed::stats;
+use mindgap::testbed::{run_ble, run_ieee, ExperimentSpec, Topology};
+
+fn main() {
+    let duration = Duration::from_secs(300);
+    println!("tree topology, 14 producers at 1 s ±0.5 s, 5 simulated minutes\n");
+
+    let spec = ExperimentSpec::paper_default(
+        Topology::paper_tree(),
+        IntervalPolicy::Static(Duration::from_millis(75)),
+        3,
+    )
+    .with_duration(duration);
+
+    let ble = run_ble(&spec);
+    let ieee = run_ieee(&spec);
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "stack", "PDR", "p50 RTT", "p99 RTT", "max RTT"
+    );
+    for (name, res) in [("BLE (75 ms interval)", &ble), ("IEEE 802.15.4 CSMA/CA", &ieee)] {
+        let rtt = res.records.rtt_sorted_secs();
+        let q = |p| stats::quantile(&rtt, p).unwrap_or(f64::NAN);
+        println!(
+            "{name:<28} {:>9.2}% {:>8.0} ms {:>8.0} ms {:>8.0} ms",
+            res.records.coap_pdr() * 100.0,
+            q(0.5) * 1000.0,
+            q(0.99) * 1000.0,
+            q(1.0) * 1000.0
+        );
+    }
+
+    println!("\nwhy the numbers look like this (paper §5.3):");
+    println!("  * BLE loses almost nothing — its ARQ retries forever, each");
+    println!("    retry costing one 75 ms connection interval (slow but sure);");
+    println!("  * 802.15.4 answers in tens of milliseconds — backoff slots are");
+    println!("    320 µs — but macMaxFrameRetries=3 turns bad-channel bursts");
+    println!("    into hard packet losses.");
+    println!("\n  pick BLE for reliability at bounded energy, 802.15.4 for");
+    println!("  latency — or read §6 of the paper before picking BLE with");
+    println!("  identical connection intervals everywhere.");
+}

@@ -1,0 +1,260 @@
+//! Property-based tests over the wire codecs, spanning crates.
+//!
+//! Each property is a structural invariant a fuzzer would look for:
+//! round-trips are identity, decoders never panic on arbitrary bytes,
+//! compression never corrupts.
+
+use proptest::prelude::*;
+
+use mindgap::ble::pdu::{DataPdu, Llid};
+use mindgap::coap::{Code, Message, MsgType, OptionNumber};
+use mindgap::net::{udp, Ipv6Addr, Ipv6Header, NextHeader};
+use mindgap::sixlowpan::{frag, iphc, LinkContext, LlAddr};
+
+fn ctx(a: u16, b: u16) -> LinkContext {
+    LinkContext {
+        src: LlAddr::from_node_index(a),
+        dst: LlAddr::from_node_index(b),
+    }
+}
+
+proptest! {
+    /// UDP encode → decode is the identity on (ports, payload), and
+    /// the checksum always verifies.
+    #[test]
+    fn udp_roundtrip(
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        a in 0u16..100,
+        b in 0u16..100,
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let src = Ipv6Addr::of_node(a);
+        let dst = Ipv6Addr::of_node(b);
+        let dgram = udp::encode(&src, &dst, sp, dp, &payload);
+        let (hdr, data) = udp::decode(&src, &dst, &dgram).expect("verify");
+        prop_assert_eq!(hdr.src_port, sp);
+        prop_assert_eq!(hdr.dst_port, dp);
+        prop_assert_eq!(data, &payload[..]);
+    }
+
+    /// A single corrupted byte anywhere in a UDP datagram is detected
+    /// (length or checksum), except in the checksum field itself when
+    /// the flip produces the alternate zero representation.
+    #[test]
+    fn udp_detects_single_byte_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..100),
+        flip_idx in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let src = Ipv6Addr::of_node(1);
+        let dst = Ipv6Addr::of_node(2);
+        let mut dgram = udp::encode(&src, &dst, 5683, 5683, &payload);
+        let idx = flip_idx.index(dgram.len());
+        dgram[idx] ^= 1 << flip_bit;
+        if let Ok((_, data)) = udp::decode(&src, &dst, &dgram) {
+            // Accepted ⇒ semantically identical payload & the flip hit
+            // the checksum's redundant encoding.
+            prop_assert_eq!(data, &payload[..]);
+            prop_assert!((6..8).contains(&idx));
+        }
+    }
+
+    /// IPv6 header encode/decode identity.
+    #[test]
+    fn ipv6_header_roundtrip(
+        tc in any::<u8>(),
+        fl in 0u32..(1 << 20),
+        hlim in any::<u8>(),
+        nh in any::<u8>(),
+        a in 0u16..1000,
+        b in 0u16..1000,
+        plen in 0u16..512,
+    ) {
+        let hdr = Ipv6Header {
+            traffic_class: tc,
+            flow_label: fl,
+            payload_len: plen,
+            next_header: NextHeader::from(nh),
+            hop_limit: hlim,
+            src: Ipv6Addr::of_node(a),
+            dst: Ipv6Addr::of_node(b),
+        };
+        let mut bytes = hdr.encode().to_vec();
+        bytes.extend(std::iter::repeat_n(0u8, plen as usize));
+        prop_assert_eq!(Ipv6Header::decode(&bytes).unwrap(), hdr);
+    }
+
+    /// IPHC compress → decompress is the identity for any UDP packet
+    /// between link-local nodes, with any traffic class, flow label
+    /// and hop limit.
+    #[test]
+    fn iphc_roundtrip_udp(
+        a in 0u16..64,
+        b in 0u16..64,
+        tc in any::<u8>(),
+        fl in 0u32..(1 << 20),
+        hlim in 1u8..=255,
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(a != b);
+        let src = Ipv6Addr::of_node(a);
+        let dst = Ipv6Addr::of_node(b);
+        let dgram = udp::encode(&src, &dst, sp, dp, &payload);
+        let mut packet = Ipv6Header::build_packet(NextHeader::Udp, src, dst, &dgram);
+        packet[0] = 0x60 | (tc >> 4);
+        packet[1] = ((tc & 0x0F) << 4) | ((fl >> 16) as u8 & 0x0F);
+        packet[2] = (fl >> 8) as u8;
+        packet[3] = fl as u8;
+        packet[7] = hlim;
+        let frame = iphc::encode_frame(&packet, &ctx(a, b));
+        let back = iphc::decode_frame(&frame, &ctx(a, b)).expect("roundtrip");
+        prop_assert_eq!(back, packet);
+    }
+
+    /// The IPHC decoder never panics on arbitrary input bytes.
+    #[test]
+    fn iphc_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = iphc::decode_frame(&bytes, &ctx(1, 2));
+    }
+
+    /// Fragmentation reassembles any datagram at any viable MTU, even
+    /// with fragments delivered in reverse.
+    #[test]
+    fn fragmentation_roundtrip(
+        datagram in proptest::collection::vec(any::<u8>(), 1..1500),
+        mtu in 50usize..128,
+        tag in any::<u16>(),
+        reverse in any::<bool>(),
+    ) {
+        let mut frames = frag::fragment(&datagram, tag, mtu);
+        if reverse {
+            frames.reverse();
+        }
+        let mut r = frag::Reassembler::new(u64::MAX);
+        let mut out = None;
+        for f in &frames {
+            prop_assert!(f.len() <= mtu);
+            out = r.on_fragment(9, f, 0).expect("valid fragment").or(out);
+        }
+        prop_assert_eq!(out.expect("complete"), datagram);
+    }
+
+    /// CoAP encode → decode identity for arbitrary messages.
+    #[test]
+    fn coap_roundtrip(
+        mid in any::<u16>(),
+        token in proptest::collection::vec(any::<u8>(), 0..=8),
+        nopts in 0usize..6,
+        opt_base in 1u16..100,
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+        con in any::<bool>(),
+    ) {
+        let mut msg = Message {
+            mtype: if con { MsgType::Confirmable } else { MsgType::NonConfirmable },
+            code: Code::GET,
+            message_id: mid,
+            token,
+            options: Vec::new(),
+            payload,
+        };
+        for i in 0..nopts {
+            msg.options.push((
+                OptionNumber::from(opt_base + i as u16 * 37),
+                vec![i as u8; i],
+            ));
+        }
+        let enc = msg.encode();
+        let dec = Message::decode(&enc).expect("roundtrip");
+        // Encoder sorts options; compare as multisets.
+        let mut want = msg.options.clone();
+        want.sort_by_key(|(n, _)| n.value());
+        prop_assert_eq!(dec.options, want);
+        prop_assert_eq!(dec.message_id, msg.message_id);
+        prop_assert_eq!(dec.token, msg.token);
+        prop_assert_eq!(dec.payload, msg.payload);
+    }
+
+    /// The CoAP decoder never panics on arbitrary bytes.
+    #[test]
+    fn coap_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// BLE data-PDU codec identity, and the decoder is total.
+    #[test]
+    fn ble_pdu_roundtrip(
+        nesn in any::<bool>(),
+        sn in any::<bool>(),
+        md in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..=251),
+    ) {
+        let pdu = DataPdu {
+            llid: if payload.is_empty() { Llid::DataContinuation } else { Llid::DataStart },
+            nesn,
+            sn,
+            md,
+            payload,
+        };
+        prop_assert_eq!(DataPdu::decode(&pdu.encode()), Some(pdu));
+    }
+
+    #[test]
+    fn ble_pdu_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = DataPdu::decode(&bytes);
+    }
+
+    /// L2CAP K-frame segmentation and reassembly is the identity for
+    /// any SDU size and any link budget.
+    #[test]
+    fn l2cap_sdu_roundtrip(
+        sdu in proptest::collection::vec(any::<u8>(), 0..1280),
+        max_pdu in 27usize..=251,
+    ) {
+        use mindgap::l2cap::{BufPool, CocChannel, CocConfig};
+        let cfg = CocConfig::default();
+        let mut a = CocChannel::symmetric(cfg, 0x40, 0x41);
+        let mut b = CocChannel::symmetric(cfg, 0x41, 0x40);
+        let mut pool = BufPool::new(1 << 16);
+        a.send_sdu(sdu.clone(), &mut pool).expect("fits");
+        let mut got = None;
+        while let Some(pdu) = a.next_pdu(max_pdu, &mut pool) {
+            let dec = mindgap::l2cap::frame::decode_basic(&pdu).expect("frame");
+            if let Some(s) = b.on_pdu(dec.payload).expect("protocol") {
+                got = Some(s);
+            }
+            let back = b.credits_to_return();
+            if back > 0 {
+                a.grant(back);
+            }
+        }
+        prop_assert_eq!(got.expect("sdu complete"), sdu);
+        prop_assert_eq!(pool.used(), 0);
+    }
+
+    /// CSA#2 always returns a channel inside the map, for any access
+    /// address, event counter and (valid) map.
+    #[test]
+    fn csa2_stays_in_map(
+        aa in any::<u32>(),
+        ev in any::<u16>(),
+        mask in 0u64..(1 << 37),
+    ) {
+        use mindgap::ble::channels::{csa2_channel, ChannelMap};
+        prop_assume!(mask.count_ones() >= 2);
+        let map = ChannelMap::from_mask(mask);
+        let ch = csa2_channel(aa, ev, map);
+        prop_assert!(map.contains(ch));
+    }
+
+    /// Generated access addresses always satisfy the spec rules.
+    #[test]
+    fn access_addresses_valid(seed in any::<u64>()) {
+        use mindgap::ble::aa;
+        let mut rng = mindgap::sim::Rng::seed_from_u64(seed);
+        let a = aa::generate(&mut rng);
+        prop_assert!(aa::is_valid(a));
+    }
+}
