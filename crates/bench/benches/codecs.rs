@@ -1,9 +1,9 @@
 //! Micro-benchmarks of the wire codecs on the hot path of every
 //! simulated packet (and of any real port of this stack).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use mindgap_bench::microbench::{bench, group};
 use mindgap_ble::channels::{csa2_channel, ChannelMap};
 use mindgap_ble::pdu::{DataPdu, Llid};
 use mindgap_coap::{Code, Message, MsgType};
@@ -26,76 +26,66 @@ fn paper_packet() -> (Vec<u8>, LinkContext) {
     (packet, ctx)
 }
 
-fn bench_iphc(c: &mut Criterion) {
+fn bench_iphc() {
     let (packet, ctx) = paper_packet();
     let frame = iphc::encode_frame(&packet, &ctx);
-    let mut g = c.benchmark_group("iphc");
-    g.throughput(Throughput::Bytes(packet.len() as u64));
-    g.bench_function("compress_100B", |b| {
-        b.iter(|| iphc::encode_frame(black_box(&packet), black_box(&ctx)))
+    group("iphc");
+    bench("iphc/compress_100B", || {
+        iphc::encode_frame(black_box(&packet), black_box(&ctx))
     });
-    g.bench_function("decompress_100B", |b| {
-        b.iter(|| iphc::decode_frame(black_box(&frame), black_box(&ctx)).unwrap())
+    bench("iphc/decompress_100B", || {
+        iphc::decode_frame(black_box(&frame), black_box(&ctx)).unwrap()
     });
-    g.finish();
 }
 
-fn bench_coap(c: &mut Criterion) {
+fn bench_coap() {
     let msg = Message::request(MsgType::NonConfirmable, Code::GET, 7, b"tok1")
         .with_path_segment("bench")
         .with_payload(vec![0xA5; 39]);
     let enc = msg.encode();
-    let mut g = c.benchmark_group("coap");
-    g.bench_function("encode", |b| b.iter(|| black_box(&msg).encode()));
-    g.bench_function("decode", |b| {
-        b.iter(|| Message::decode(black_box(&enc)).unwrap())
-    });
-    g.finish();
+    group("coap");
+    bench("coap/encode", || black_box(&msg).encode());
+    bench("coap/decode", || Message::decode(black_box(&enc)).unwrap());
 }
 
-fn bench_udp(c: &mut Criterion) {
+fn bench_udp() {
     let src = Ipv6Addr::of_node(1);
     let dst = Ipv6Addr::of_node(2);
     let payload = vec![0x5Au8; 62];
     let dgram = udp::encode(&src, &dst, 5683, 5683, &payload);
-    let mut g = c.benchmark_group("udp");
-    g.throughput(Throughput::Bytes(dgram.len() as u64));
-    g.bench_function("encode_with_checksum", |b| {
-        b.iter(|| udp::encode(black_box(&src), black_box(&dst), 5683, 5683, black_box(&payload)))
+    group("udp");
+    bench("udp/encode_with_checksum", || {
+        udp::encode(black_box(&src), black_box(&dst), 5683, 5683, black_box(&payload))
     });
-    g.bench_function("decode_verify", |b| {
-        b.iter(|| udp::decode(black_box(&src), black_box(&dst), black_box(&dgram)).unwrap())
+    bench("udp/decode_verify", || {
+        udp::decode(black_box(&src), black_box(&dst), black_box(&dgram)).unwrap()
     });
-    g.finish();
 }
 
-fn bench_l2cap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("l2cap");
-    g.bench_function("sdu_segment_reassemble_1024B", |b| {
-        b.iter(|| {
-            let cfg = CocConfig::default();
-            let mut a = CocChannel::symmetric(cfg, 0x40, 0x41);
-            let mut rx = CocChannel::symmetric(cfg, 0x41, 0x40);
-            let mut pool = BufPool::new(1 << 16);
-            a.send_sdu(vec![0xDA; 1024], &mut pool).unwrap();
-            let mut out = None;
-            while let Some(pdu) = a.next_pdu(251, &mut pool) {
-                let dec = mindgap_l2cap::frame::decode_basic(&pdu).unwrap();
-                if let Some(sdu) = rx.on_pdu(dec.payload).unwrap() {
-                    out = Some(sdu);
-                }
-                let back = rx.credits_to_return();
-                if back > 0 {
-                    a.grant(back);
-                }
+fn bench_l2cap() {
+    group("l2cap");
+    bench("l2cap/sdu_segment_reassemble_1024B", || {
+        let cfg = CocConfig::default();
+        let mut a = CocChannel::symmetric(cfg, 0x40, 0x41);
+        let mut rx = CocChannel::symmetric(cfg, 0x41, 0x40);
+        let mut pool = BufPool::new(1 << 16);
+        a.send_sdu(vec![0xDA; 1024], &mut pool).unwrap();
+        let mut out = None;
+        while let Some(pdu) = a.next_pdu(251, &mut pool) {
+            let dec = mindgap_l2cap::frame::decode_basic(&pdu).unwrap();
+            if let Some(sdu) = rx.on_pdu(dec.payload).unwrap() {
+                out = Some(sdu);
             }
-            black_box(out)
-        })
+            let back = rx.credits_to_return();
+            if back > 0 {
+                a.grant(back);
+            }
+        }
+        black_box(out)
     });
-    g.finish();
 }
 
-fn bench_ble_pdu(c: &mut Criterion) {
+fn bench_ble_pdu() {
     let pdu = DataPdu {
         llid: Llid::DataStart,
         nesn: true,
@@ -104,32 +94,28 @@ fn bench_ble_pdu(c: &mut Criterion) {
         payload: vec![0xAB; 113],
     };
     let enc = pdu.encode();
-    let mut g = c.benchmark_group("ble_pdu");
-    g.bench_function("encode_115B", |b| b.iter(|| black_box(&pdu).encode()));
-    g.bench_function("decode_115B", |b| {
-        b.iter(|| DataPdu::decode(black_box(&enc)).unwrap())
+    group("ble_pdu");
+    bench("ble_pdu/encode_115B", || black_box(&pdu).encode());
+    bench("ble_pdu/decode_115B", || {
+        DataPdu::decode(black_box(&enc)).unwrap()
     });
-    g.finish();
 }
 
-fn bench_csa2(c: &mut Criterion) {
+fn bench_csa2() {
     let map = ChannelMap::all_except_jammed();
-    c.bench_function("csa2_channel_select", |b| {
-        let mut ev = 0u16;
-        b.iter(|| {
-            ev = ev.wrapping_add(1);
-            csa2_channel(black_box(0x5713_9AD6), ev, map)
-        })
+    group("csa2");
+    let mut ev = 0u16;
+    bench("csa2/channel_select", move || {
+        ev = ev.wrapping_add(1);
+        csa2_channel(black_box(0x5713_9AD6), ev, map)
     });
 }
 
-criterion_group!(
-    codecs,
-    bench_iphc,
-    bench_coap,
-    bench_udp,
-    bench_l2cap,
-    bench_ble_pdu,
-    bench_csa2
-);
-criterion_main!(codecs);
+fn main() {
+    bench_iphc();
+    bench_coap();
+    bench_udp();
+    bench_l2cap();
+    bench_ble_pdu();
+    bench_csa2();
+}

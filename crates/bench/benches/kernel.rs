@@ -1,78 +1,77 @@
 //! Micro-benchmarks of the simulation kernel primitives — the inner
 //! loop of every experiment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use mindgap_bench::microbench::{bench, group};
 use mindgap_phy::{airtime, Channel, LossConfig, Medium, MediumConfig, TxParams};
 use mindgap_sim::{Clock, Duration, EventQueue, Instant, NodeId, Rng};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel");
-    g.bench_function("queue_schedule_pop", |b| {
-        let mut q: EventQueue<u64> = EventQueue::new();
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 1;
-            q.schedule_at(Instant::from_nanos(t * 1000), t);
-            if t.is_multiple_of(4) {
-                black_box(q.pop());
-            }
-        })
+fn bench_event_queue() {
+    group("kernel/event_queue");
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut t = 0u64;
+    bench("kernel/queue_schedule_pop", move || {
+        t += 1;
+        q.schedule_at(Instant::from_nanos(t * 1000), t);
+        if t.is_multiple_of(4) {
+            black_box(q.pop());
+        }
     });
-    g.bench_function("queue_churn_1k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u32> = EventQueue::new();
-            for i in 0..1000u32 {
-                q.schedule_at(Instant::from_nanos(((i * 7919) % 100_000) as u64 + 1), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum += v as u64;
-            }
-            black_box(sum)
-        })
+    bench("kernel/queue_churn_1k", || {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..1000u32 {
+            q.schedule_at(Instant::from_nanos(((i * 7919) % 100_000) as u64 + 1), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v as u64;
+        }
+        black_box(sum)
     });
-    g.finish();
 }
 
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel");
+fn bench_rng() {
+    group("kernel/rng");
     let mut rng = Rng::seed_from_u64(42);
-    g.bench_function("rng_next_u64", |b| b.iter(|| black_box(rng.next_u64())));
-    g.bench_function("rng_below", |b| b.iter(|| black_box(rng.below(75_000_000))));
-    g.finish();
+    bench("kernel/rng_next_u64", move || black_box(rng.next_u64()));
+    let mut rng = Rng::seed_from_u64(42);
+    bench("kernel/rng_below", move || black_box(rng.below(75_000_000)));
 }
 
-fn bench_clock(c: &mut Criterion) {
+fn bench_clock() {
+    group("kernel/clock");
     let clock = Clock::with_ppm(5.0);
     let d = Duration::from_millis(75);
-    c.bench_function("kernel/clock_to_global", |b| {
-        b.iter(|| black_box(clock.to_global(black_box(d))))
+    bench("kernel/clock_to_global", || {
+        black_box(clock.to_global(black_box(d)))
     });
 }
 
-fn bench_medium(c: &mut Criterion) {
-    c.bench_function("kernel/medium_tx_cycle", |b| {
-        let mut m = Medium::new(MediumConfig {
-            n_nodes: 15,
-            loss: LossConfig::ble_default(),
-            seed: 1,
+fn bench_medium() {
+    group("kernel/medium");
+    let mut m = Medium::new(MediumConfig {
+        n_nodes: 15,
+        loss: LossConfig::ble_default(),
+        seed: 1,
+    });
+    let listeners: Vec<NodeId> = (0..15).map(NodeId).collect();
+    let mut t = 0u64;
+    bench("kernel/medium_tx_cycle", move || {
+        t += 2_000_000;
+        let id = m.begin_tx(TxParams {
+            src: NodeId((t / 2_000_000 % 15) as u16),
+            channel: Channel::ble_data((t / 2_000_000 % 37) as u8),
+            start: Instant::from_nanos(t),
+            airtime: airtime::ble_data_1m(113),
         });
-        let listeners: Vec<NodeId> = (0..15).map(NodeId).collect();
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 2_000_000;
-            let id = m.begin_tx(TxParams {
-                src: NodeId((t / 2_000_000 % 15) as u16),
-                channel: Channel::ble_data((t / 2_000_000 % 37) as u8),
-                start: Instant::from_nanos(t),
-                airtime: airtime::ble_data_1m(113),
-            });
-            black_box(m.finish_tx(id, &listeners))
-        })
+        black_box(m.finish_tx(id, &listeners))
     });
 }
 
-criterion_group!(kernel, bench_event_queue, bench_rng, bench_clock, bench_medium);
-criterion_main!(kernel);
+fn main() {
+    bench_event_queue();
+    bench_rng();
+    bench_clock();
+    bench_medium();
+}

@@ -4,9 +4,9 @@
 //! the figure binaries' `--full` mode (5×1 h × 60 configurations,
 //! Fig. 15) is only practical because a simulated hour costs seconds.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use mindgap_bench::microbench::{bench_n, group};
 use mindgap_core::{AppConfig, IntervalPolicy, World, WorldConfig};
 use mindgap_sim::{Duration, Instant, NodeId};
 use mindgap_testbed::topology::mesh_node_configs;
@@ -21,83 +21,65 @@ fn spec(topology: Topology, seed: u64) -> ExperimentSpec {
     .with_duration(Duration::from_secs(30))
 }
 
-fn bench_tree_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("world");
-    g.sample_size(10);
-    g.bench_function("ble_tree_30s_sim", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_ble(&spec(Topology::paper_tree(), seed)))
-        })
+fn bench_tree_run() {
+    group("world/experiments");
+    let mut seed = 0;
+    bench_n("world/ble_tree_30s_sim", 10, move || {
+        seed += 1;
+        black_box(run_ble(&spec(Topology::paper_tree(), seed)))
     });
-    g.bench_function("ble_line_30s_sim", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_ble(&spec(Topology::paper_line(), seed)))
-        })
+    let mut seed = 0;
+    bench_n("world/ble_line_30s_sim", 10, move || {
+        seed += 1;
+        black_box(run_ble(&spec(Topology::paper_line(), seed)))
     });
-    g.bench_function("ieee_tree_30s_sim", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_ieee(&spec(Topology::paper_tree(), seed)))
-        })
+    let mut seed = 0;
+    bench_n("world/ieee_tree_30s_sim", 10, move || {
+        seed += 1;
+        black_box(run_ieee(&spec(Topology::paper_tree(), seed)))
     });
-    g.finish();
 }
 
-fn bench_throughput_probe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("world");
-    g.sample_size(10);
-    g.bench_function("single_link_saturated_2s_sim", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(measure_single_link(
-                seed,
-                Duration::from_millis(75),
-                247,
-                Duration::from_secs(2),
-            ))
-        })
+fn bench_throughput_probe() {
+    group("world/throughput");
+    let mut seed = 0;
+    bench_n("world/single_link_saturated_2s_sim", 10, move || {
+        seed += 1;
+        black_box(measure_single_link(
+            seed,
+            Duration::from_millis(75),
+            247,
+            Duration::from_secs(2),
+        ))
     });
-    g.finish();
 }
 
-fn bench_dynamic_routing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("world");
-    g.sample_size(10);
-    g.bench_function("rpl_mesh_3x3_30s_sim", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            let nodes = mesh_node_configs(3, 3);
-            let app = AppConfig {
-                warmup: Duration::from_secs(10),
-                ..AppConfig::paper_default((1..9).map(NodeId).collect(), NodeId(0))
-            };
-            let mut cfg = WorldConfig::paper_default(
-                seed,
-                IntervalPolicy::Randomized {
-                    lo: Duration::from_millis(65),
-                    hi: Duration::from_millis(85),
-                },
-            );
-            cfg.dynamic_routing = true;
-            let mut w = World::new(cfg, nodes, app);
-            w.run_until(Instant::from_secs(30));
-            black_box(w.records().total_done())
-        })
+fn bench_dynamic_routing() {
+    group("world/routing");
+    let mut seed = 0;
+    bench_n("world/rpl_mesh_3x3_30s_sim", 10, move || {
+        seed += 1;
+        let nodes = mesh_node_configs(3, 3);
+        let app = AppConfig {
+            warmup: Duration::from_secs(10),
+            ..AppConfig::paper_default((1..9).map(NodeId).collect(), NodeId(0))
+        };
+        let mut cfg = WorldConfig::paper_default(
+            seed,
+            IntervalPolicy::Randomized {
+                lo: Duration::from_millis(65),
+                hi: Duration::from_millis(85),
+            },
+        );
+        cfg.dynamic_routing = true;
+        let mut w = World::new(cfg, nodes, app);
+        w.run_until(Instant::from_secs(30));
+        black_box(w.records().total_done())
     });
-    g.finish();
 }
 
-criterion_group!(
-    simulation,
-    bench_tree_run,
-    bench_throughput_probe,
-    bench_dynamic_routing
-);
-criterion_main!(simulation);
+fn main() {
+    bench_tree_run();
+    bench_throughput_probe();
+    bench_dynamic_routing();
+}

@@ -7,10 +7,16 @@
 //! (b) Connection interval 2 s, producer interval 1 s ±0.5 s: burst
 //!     transfers at each event overwhelm buffers; PDR drops further
 //!     (paper Fig. 9b shows a fluctuating average around ≈50 %).
+//!
+//! Both cases run as one campaign (`--jobs N`, resumable artifacts
+//! under `results/campaigns/`); case (a) records per-producer PDR
+//! series in its artifact for the heatmap.
 
 use mindgap_bench::{banner, pct, write_csv, Opts};
+use mindgap_campaign::GridBuilder;
 use mindgap_core::IntervalPolicy;
-use mindgap_sim::{Duration, NodeId};
+use mindgap_sim::Duration;
+use mindgap_testbed::campaign::{drops_of, keys, to_job_result};
 use mindgap_testbed::stats;
 use mindgap_testbed::{run_ble, ExperimentSpec, Topology};
 
@@ -23,30 +29,54 @@ fn main() {
         Duration::from_secs(600)
     };
 
+    let producers: Vec<u16> = (1..15).collect();
+    let campaign = GridBuilder::new(&format!("fig09-{}", opts.mode()), opts.seed)
+        .axis("case", ["high_load", "slow_conn"].iter().map(|s| s.to_string()))
+        .explicit_seeds(&[opts.seed])
+        .build();
+    let report = mindgap_campaign::run(&campaign, &opts.campaign(), |job| {
+        match job.params["case"].as_str() {
+            "high_load" => {
+                let spec = ExperimentSpec::paper_default(
+                    Topology::paper_tree(),
+                    IntervalPolicy::Static(Duration::from_millis(75)),
+                    job.seed,
+                )
+                .with_duration(duration)
+                .with_producer_interval(Duration::from_millis(100));
+                to_job_result(&run_ble(&spec), &producers)
+            }
+            _ => {
+                let spec = ExperimentSpec::paper_default(
+                    Topology::paper_tree(),
+                    IntervalPolicy::Static(Duration::from_secs(2)),
+                    job.seed,
+                )
+                .with_duration(duration);
+                to_job_result(&run_ble(&spec), &[])
+            }
+        }
+    });
+
     // ---- (a) high load ----
-    let spec = ExperimentSpec::paper_default(
-        Topology::paper_tree(),
-        IntervalPolicy::Static(Duration::from_millis(75)),
-        opts.seed,
-    )
-    .with_duration(duration)
-    .with_producer_interval(Duration::from_millis(100));
-    let res = run_ble(&spec);
-    let r = &res.records;
+    let results_a = report.results_for_config("case=high_load");
+    let r = results_a.first().expect("fig09(a) run failed");
     println!("\nFig 9(a): producer 100 ms ±50 ms, connection interval 75 ms");
     println!(
         "average CoAP PDR: {}   (paper: ≈75%)   mbuf-pool drops: {}",
-        pct(r.coap_pdr()),
-        res.pool_drops
+        pct(r.get(keys::COAP_PDR)),
+        r.get(keys::POOL_DROPS) as u64
     );
     println!(
         "connection losses: {}   reconnects: {}   stack drops: {:?}",
-        res.conn_losses, res.reconnects, r.drops
+        r.get(keys::CONN_LOSSES) as u64,
+        r.get(keys::RECONNECTS) as u64,
+        drops_of(r)
     );
     println!("per-node PDR (uneven distribution is the point, Fig. 9a heatmap):");
     let mut rows = Vec::new();
     for n in 1..15u16 {
-        let series = r.coap_pdr_series_for(NodeId(n));
+        let series = r.get_series(&format!("{}{n}", keys::PDR_NODE_PREFIX));
         let avg = stats::mean(&series).unwrap_or(1.0);
         println!("  node {n:>2}: {} {}", stats::bar(avg), pct(avg));
         rows.push(format!(
@@ -59,7 +89,7 @@ fn main() {
         ));
     }
     write_csv(&opts, "fig09a_per_node_pdr.csv", "node,avg_pdr,series", &rows);
-    let series = r.coap_pdr_series();
+    let series = r.get_series(keys::PDR_SERIES);
     write_csv(
         &opts,
         "fig09a_avg_pdr_series.csv",
@@ -72,25 +102,23 @@ fn main() {
     );
 
     // ---- (b) slow connection interval ----
-    let spec = ExperimentSpec::paper_default(
-        Topology::paper_tree(),
-        IntervalPolicy::Static(Duration::from_secs(2)),
-        opts.seed,
-    )
-    .with_duration(duration);
-    let res_b = run_ble(&spec);
-    let rb = &res_b.records;
+    let results_b = report.results_for_config("case=slow_conn");
+    let rb = results_b.first().expect("fig09(b) run failed");
     println!("\nFig 9(b): connection interval 2000 ms, producer 1 s ±0.5 s");
     println!(
         "average CoAP PDR: {}   (paper: below the 75% of Fig. 9a, ≈50%)",
-        pct(rb.coap_pdr())
+        pct(rb.get(keys::COAP_PDR))
     );
-    println!("  mbuf-pool drops: {}   (burst traffic at each event)", res_b.pool_drops);
-    let series_b = rb.coap_pdr_series();
+    println!(
+        "  mbuf-pool drops: {}   (burst traffic at each event)",
+        rb.get(keys::POOL_DROPS) as u64
+    );
+    let bucket_secs = (rb.get(keys::BUCKET_S) * 1000.0).round() as u64 / 1000;
+    let series_b = rb.get_series(keys::PDR_SERIES);
     for (i, p) in series_b.iter().enumerate() {
         println!(
             "  t={:>5}s  {}  {}",
-            i as u64 * rb.bucket.millis() / 1000,
+            i as u64 * bucket_secs,
             stats::bar(*p),
             pct(*p)
         );

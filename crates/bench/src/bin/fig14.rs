@@ -6,10 +6,18 @@
 //! randomized windows (grey in the paper) are almost loss-free, with
 //! residual losses only for small intervals under load — attributed
 //! to interference, not shading.
+//!
+//! The per-configuration runs are independent, so they are sharded
+//! across a campaign worker pool (`--jobs N`) with resumable
+//! artifacts under `results/campaigns/`.
+
+use std::collections::BTreeMap;
 
 use mindgap_bench::{banner, write_csv, Opts};
+use mindgap_campaign::GridBuilder;
 use mindgap_core::IntervalPolicy;
 use mindgap_sim::Duration;
+use mindgap_testbed::campaign::{keys, to_job_result};
 use mindgap_testbed::{run_ble, ExperimentSpec, Topology};
 
 fn main() {
@@ -48,6 +56,19 @@ fn main() {
             IntervalPolicy::Randomized { lo: ms(490), hi: ms(510) },
         ),
     ];
+    let policies: BTreeMap<String, IntervalPolicy> = configs.iter().cloned().collect();
+
+    let campaign = GridBuilder::new(&format!("fig14-{}", opts.mode()), opts.seed)
+        .axis("conn", configs.iter().map(|(label, _)| label.clone()))
+        .explicit_seeds(&opts.seeds())
+        .build();
+    let report = mindgap_campaign::run(&campaign, &opts.campaign(), |job| {
+        let policy = policies[&job.params["conn"]];
+        let spec = ExperimentSpec::paper_default(Topology::paper_tree(), policy, job.seed)
+            .with_duration(duration)
+            .with_clock_ppm(5.0);
+        to_job_result(&run_ble(&spec), &[])
+    });
 
     println!(
         "\nruns per config: {} × {} s   (paper: 5 × 1 h)\n",
@@ -58,21 +79,16 @@ fn main() {
     let mut rows = Vec::new();
     let mut static_losses = 0usize;
     let mut random_losses = 0usize;
-    for (label, policy) in &configs {
-        let mut losses = 0usize;
-        let mut pdr_sum = 0.0;
-        let mut ll_sum = 0.0;
-        let seeds = opts.seeds();
-        for &seed in &seeds {
-            let spec = ExperimentSpec::paper_default(Topology::paper_tree(), *policy, seed)
-                .with_duration(duration)
-                .with_clock_ppm(5.0);
-            let res = run_ble(&spec);
-            losses += res.conn_losses;
-            pdr_sum += res.records.coap_pdr();
-            ll_sum += res.records.ll_pdr();
-        }
-        let n = seeds.len() as f64;
+    for (label, _) in &configs {
+        let config = format!("conn={label}");
+        let results = report.results_for_config(&config);
+        let losses: usize = results
+            .iter()
+            .map(|r| r.get(keys::CONN_LOSSES) as usize)
+            .sum();
+        let pdr_sum: f64 = results.iter().map(|r| r.get(keys::COAP_PDR)).sum();
+        let ll_sum: f64 = results.iter().map(|r| r.get(keys::LL_PDR)).sum();
+        let n = results.len() as f64;
         let is_random = label.starts_with('[');
         if is_random {
             random_losses += losses;

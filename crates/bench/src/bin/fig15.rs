@@ -7,11 +7,17 @@
 //!
 //! Quick mode trims to 3 producer intervals × all 10 interval
 //! configurations × 1 seed × 10 min so it completes in minutes; pass
-//! `--full` for the complete matrix.
+//! `--full` for the complete matrix. The grid is sharded across a
+//! campaign worker pool (`--jobs N`, default all cores) and resumes
+//! from `results/campaigns/` after an interrupt.
+
+use std::collections::BTreeMap;
 
 use mindgap_bench::{banner, write_csv, Opts};
+use mindgap_campaign::GridBuilder;
 use mindgap_core::IntervalPolicy;
 use mindgap_sim::Duration;
+use mindgap_testbed::campaign::{keys, to_job_result};
 use mindgap_testbed::stats;
 use mindgap_testbed::{run_ble, ExperimentSpec, Topology};
 
@@ -41,6 +47,22 @@ fn main() {
         ("[90:110]".into(), IntervalPolicy::Randomized { lo: ms(90), hi: ms(110) }),
         ("[490:510]".into(), IntervalPolicy::Randomized { lo: ms(490), hi: ms(510) }),
     ];
+    let policies: BTreeMap<String, IntervalPolicy> = conn_configs.iter().cloned().collect();
+
+    let campaign = GridBuilder::new(&format!("fig15-{}", opts.mode()), opts.seed)
+        .axis("prod", producer_intervals.iter().map(u64::to_string))
+        .axis("conn", conn_configs.iter().map(|(label, _)| label.clone()))
+        .explicit_seeds(&opts.seeds())
+        .build();
+    let report = mindgap_campaign::run(&campaign, &opts.campaign(), |job| {
+        let prod: u64 = job.params["prod"].parse().expect("prod axis");
+        let policy = policies[&job.params["conn"]];
+        let spec = ExperimentSpec::paper_default(Topology::paper_tree(), policy, job.seed)
+            .with_duration(duration)
+            .with_producer_interval(Duration::from_millis(prod))
+            .with_clock_ppm(5.0);
+        to_job_result(&run_ble(&spec), &[])
+    });
 
     let mut rows = Vec::new();
     for &prod in &producer_intervals {
@@ -49,24 +71,17 @@ fn main() {
             "{:>12} {:>9} {:>9} {:>10} {:>8}",
             "conn itvl", "LL PDR", "CoAP PDR", "RTT p50", "losses"
         );
-        for (label, policy) in &conn_configs {
-            let mut ll = 0.0;
-            let mut coap = 0.0;
-            let mut rtts: Vec<f64> = Vec::new();
-            let mut losses = 0usize;
-            let seeds = opts.seeds();
-            for &seed in &seeds {
-                let spec = ExperimentSpec::paper_default(Topology::paper_tree(), *policy, seed)
-                    .with_duration(duration)
-                    .with_producer_interval(Duration::from_millis(prod))
-                    .with_clock_ppm(5.0);
-                let res = run_ble(&spec);
-                ll += res.records.ll_pdr();
-                coap += res.records.coap_pdr();
-                rtts.extend(res.records.rtt_sorted_secs());
-                losses += res.conn_losses;
-            }
-            let n = seeds.len() as f64;
+        for (label, _) in &conn_configs {
+            let config = format!("prod={prod},conn={label}");
+            let results = report.results_for_config(&config);
+            let ll: f64 = results.iter().map(|r| r.get(keys::LL_PDR)).sum();
+            let coap: f64 = results.iter().map(|r| r.get(keys::COAP_PDR)).sum();
+            let losses: usize = results
+                .iter()
+                .map(|r| r.get(keys::CONN_LOSSES) as usize)
+                .sum();
+            let rtts = mindgap_campaign::agg::concat_series(&report, &config, keys::RTT_S);
+            let n = results.len() as f64;
             let p50 = stats::quantile(&rtts, 0.5).unwrap_or(f64::NAN);
             println!(
                 "{label:>12} {:>8.3}% {:>8.3}% {:>9.3}s {losses:>8}",

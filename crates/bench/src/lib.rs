@@ -11,13 +11,16 @@
 //!   reported values alongside,
 //! * writes machine-readable CSV under `results/`.
 //!
-//! Criterion micro/meso benchmarks live in `benches/`.
+//! Micro/meso benchmarks live in `benches/` (self-hosted harness, see
+//! [`microbench`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fs;
 use std::path::PathBuf;
+
+pub mod microbench;
 
 /// Common command-line options.
 #[derive(Debug, Clone)]
@@ -26,8 +29,13 @@ pub struct Opts {
     pub full: bool,
     /// Base seed.
     pub seed: u64,
-    /// Output directory for CSV files.
+    /// Output directory for CSV files (campaign artifacts go to
+    /// `<out>/campaigns/`).
     pub out_dir: PathBuf,
+    /// Campaign worker threads; 0 = available parallelism.
+    pub jobs: usize,
+    /// Ignore existing campaign artifacts instead of resuming.
+    pub fresh: bool,
 }
 
 impl Opts {
@@ -36,10 +44,13 @@ impl Opts {
         let mut full = false;
         let mut seed = 42;
         let mut out_dir = PathBuf::from("results");
+        let mut jobs = 0usize;
+        let mut fresh = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => full = true,
+                "--quick" => full = false,
                 "--seed" => {
                     seed = args
                         .next()
@@ -49,13 +60,24 @@ impl Opts {
                 "--out" => {
                     out_dir = args.next().expect("--out needs a path").into();
                 }
-                other => panic!("unknown argument {other} (expected --full/--seed/--out)"),
+                "--jobs" => {
+                    jobs = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--jobs needs a number");
+                }
+                "--fresh" => fresh = true,
+                other => panic!(
+                    "unknown argument {other} (expected --full/--quick/--seed/--out/--jobs/--fresh)"
+                ),
             }
         }
         Opts {
             full,
             seed,
             out_dir,
+            jobs,
+            fresh,
         }
     }
 
@@ -64,6 +86,27 @@ impl Opts {
     pub fn seeds(&self) -> Vec<u64> {
         let n = if self.full { 5 } else { 1 };
         (0..n).map(|i| self.seed + i).collect()
+    }
+
+    /// Mode suffix for campaign names, so `--quick` and `--full`
+    /// artifact sets never shadow each other.
+    pub fn mode(&self) -> &'static str {
+        if self.full {
+            "full"
+        } else {
+            "quick"
+        }
+    }
+
+    /// Campaign engine configuration for this invocation: artifacts
+    /// under `<out>/campaigns/`, resume on unless `--fresh`.
+    pub fn campaign(&self) -> mindgap_campaign::RunConfig {
+        mindgap_campaign::RunConfig {
+            workers: self.jobs,
+            out_root: self.out_dir.join("campaigns"),
+            resume: !self.fresh,
+            progress: true,
+        }
     }
 }
 

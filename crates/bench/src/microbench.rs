@@ -1,0 +1,93 @@
+//! A deliberately small, std-only timing harness for the `benches/`
+//! binaries (`harness = false`).
+//!
+//! The container this repo builds in has no network access, so the
+//! usual criterion dependency cannot be fetched; this module covers
+//! the part of it the benches actually use: warm up, auto-calibrate an
+//! iteration count to a target sample duration, take several samples,
+//! and report the best and median time per iteration (the best sample
+//! is the least noise-contaminated estimate on a shared machine).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default per-sample target: long enough to dwarf timer overhead.
+const TARGET: Duration = Duration::from_millis(100);
+/// Samples per benchmark.
+const SAMPLES: usize = 5;
+
+/// Measure `f`, auto-calibrated so one sample lasts ≈`target`, and
+/// print `name: best .. median per iter (n iters × k samples)`.
+pub fn bench_with_target<T>(name: &str, target: Duration, mut f: impl FnMut() -> T) {
+    // Warm up and calibrate: run until we have spent ≥ target/10.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let spent = t0.elapsed();
+        if spent >= target / 10 {
+            break spent / iters as u32;
+        }
+        iters = iters.saturating_mul(4).max(1);
+    };
+    let per_sample = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 32) as u64;
+
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            t0.elapsed() / per_sample as u32
+        })
+        .collect();
+    samples.sort();
+    println!(
+        "{name:<40} {:>12} .. {:>12}   ({per_sample} iters × {SAMPLES} samples)",
+        fmt_ns(samples[0]),
+        fmt_ns(samples[SAMPLES / 2]),
+    );
+}
+
+/// [`bench_with_target`] with the default 100 ms sample target.
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) {
+    bench_with_target(name, TARGET, f);
+}
+
+/// For meso-benchmarks whose single iteration is already seconds:
+/// run `f` `n` times, print best/median per iteration.
+pub fn bench_n<T>(name: &str, n: usize, mut f: impl FnMut() -> T) {
+    let mut samples: Vec<Duration> = (0..n.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    println!(
+        "{name:<40} {:>12} .. {:>12}   (1 iter × {n} samples)",
+        fmt_ns(samples[0]),
+        fmt_ns(samples[samples.len() / 2]),
+    );
+}
+
+/// Print a section header for a group of related benchmarks.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}

@@ -1,11 +1,13 @@
-//! Property-based tests of the radio reservation timeline — the
+//! Randomized tests of the radio reservation timeline — the
 //! arbiter at the heart of connection shading.
-
-use proptest::prelude::*;
+//!
+//! Operation sequences are generated from the deterministic kernel
+//! [`Rng`] (seeded per case), replacing the former proptest strategy
+//! with the same op mix and bounds.
 
 use mindgap_ble::sched::{RadioScheduler, ResKind};
 use mindgap_ble::ConnId;
-use mindgap_sim::Instant;
+use mindgap_sim::{Instant, Rng};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,24 +17,34 @@ enum Op {
     PreemptNonConn { start: u64, len: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..10_000, 1u64..500, 0u8..6).prop_map(|(start, len, conn)| Op::Book {
-            start,
-            len,
-            conn
-        }),
-        (0u8..6).prop_map(|conn| Op::RemoveConn { conn }),
-        (0u64..10_000).prop_map(|at| Op::Purge { at }),
-        (0u64..10_000, 1u64..500).prop_map(|(start, len)| Op::PreemptNonConn { start, len }),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(4) {
+        0 => Op::Book {
+            start: rng.below(10_000),
+            len: rng.range_inclusive(1, 499),
+            conn: rng.below(6) as u8,
+        },
+        1 => Op::RemoveConn {
+            conn: rng.below(6) as u8,
+        },
+        2 => Op::Purge {
+            at: rng.below(10_000),
+        },
+        _ => Op::PreemptNonConn {
+            start: rng.below(10_000),
+            len: rng.range_inclusive(1, 499),
+        },
+    }
 }
 
-proptest! {
-    /// Under any operation sequence, no two live reservations overlap
-    /// and successful bookings really were free.
-    #[test]
-    fn reservations_never_overlap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+/// Under any operation sequence, no two live reservations overlap
+/// and successful bookings really were free.
+#[test]
+fn reservations_never_overlap() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x5C4E_D000 ^ case);
+        let n_ops = rng.range_inclusive(1, 199) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         let mut sched = RadioScheduler::new();
         // Shadow model: list of (start, end) we believe are booked.
         let mut shadow: Vec<(u64, u64, Option<u8>)> = Vec::new();
@@ -51,7 +63,7 @@ proptest! {
                     let got = sched
                         .try_book(Instant::from_nanos(s), Instant::from_nanos(e), kind)
                         .is_ok();
-                    prop_assert_eq!(got, free, "booking [{},{}) vs shadow {:?}", s, e, shadow);
+                    assert_eq!(got, free, "booking [{s},{e}) vs shadow {shadow:?}");
                     if got {
                         let tag = if conn >= 2 { Some(conn) } else { None };
                         shadow.push((s, e, tag));
@@ -70,21 +82,19 @@ proptest! {
                     let any_conn_overlaps = shadow
                         .iter()
                         .any(|&(a, b, t)| t.is_some() && a < e && s < b);
-                    let res = sched.preempt_non_conn(
-                        Instant::from_nanos(s),
-                        Instant::from_nanos(e),
-                    );
+                    let res =
+                        sched.preempt_non_conn(Instant::from_nanos(s), Instant::from_nanos(e));
                     if any_conn_overlaps {
-                        prop_assert!(res.is_none(), "must refuse to preempt connections");
+                        assert!(res.is_none(), "must refuse to preempt connections");
                     } else if let Some(victims) = res {
                         for v in victims {
-                            prop_assert!(v.kind.conn().is_none());
+                            assert!(v.kind.conn().is_none());
                         }
                         shadow.retain(|&(a, b, t)| !(t.is_none() && a < e && s < b));
                     }
                 }
             }
         }
-        prop_assert_eq!(sched.len(), shadow.len());
+        assert_eq!(sched.len(), shadow.len());
     }
 }

@@ -1,34 +1,45 @@
-//! Property-based tests of the simulation kernel's invariants.
-
-use proptest::prelude::*;
+//! Randomized tests of the simulation kernel's invariants.
+//!
+//! Each test drives many deterministic pseudo-random cases from the
+//! kernel's own [`Rng`] (seeded per case), so the suite needs no
+//! external property-testing dependency yet still explores the same
+//! input space on every run — failures reproduce exactly.
 
 use mindgap_sim::{Clock, Duration, EventQueue, Instant, Rng};
 
-proptest! {
-    /// Events pop in non-decreasing time order regardless of the
-    /// insertion order, and same-time events keep insertion order.
-    #[test]
-    fn queue_pops_sorted_and_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+const CASES: u64 = 64;
+
+/// Events pop in non-decreasing time order regardless of the
+/// insertion order, and same-time events keep insertion order.
+#[test]
+fn queue_pops_sorted_and_stable() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x51ED_0001 ^ case);
+        let n = rng.range_inclusive(1, 199) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(Instant::from_nanos(t), (t, i));
         }
         let mut last: Option<(u64, usize)> = None;
         while let Some((at, (t, i))) = q.pop() {
-            prop_assert_eq!(at.nanos(), t);
+            assert_eq!(at.nanos(), t);
             if let Some((lt, li)) = last {
-                prop_assert!(t > lt || (t == lt && i > li), "stability violated");
+                assert!(t > lt || (t == lt && i > li), "stability violated");
             }
             last = Some((t, i));
         }
     }
+}
 
-    /// Cancelled events never pop; everything else does exactly once.
-    #[test]
-    fn queue_cancellation_is_exact(
-        times in proptest::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelled events never pop; everything else does exactly once.
+#[test]
+fn queue_cancellation_is_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x51ED_0002 ^ case);
+        let n = rng.range_inclusive(1, 99) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1_000)).collect();
+        let cancel_mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut q = EventQueue::new();
         let mut expect = Vec::new();
         let mut tokens = Vec::new();
@@ -39,74 +50,96 @@ proptest! {
         }
         let mut cancelled = std::collections::HashSet::new();
         for (k, &(tok, i)) in tokens.iter().enumerate() {
-            if *cancel_mask.get(k % cancel_mask.len()).unwrap_or(&false) {
+            if cancel_mask[k % cancel_mask.len()] {
                 q.cancel(tok);
                 cancelled.insert(i);
             }
         }
         let mut popped = std::collections::HashSet::new();
         while let Some((_, i)) = q.pop() {
-            prop_assert!(!cancelled.contains(&i), "cancelled event popped");
-            prop_assert!(popped.insert(i), "event popped twice");
+            assert!(!cancelled.contains(&i), "cancelled event popped");
+            assert!(popped.insert(i), "event popped twice");
         }
         for i in expect {
-            prop_assert!(popped.contains(&i) || cancelled.contains(&i));
+            assert!(popped.contains(&i) || cancelled.contains(&i));
         }
     }
+}
 
-    /// `Rng::below` is always within bounds.
-    #[test]
-    fn rng_below_in_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+/// `Rng::below` is always within bounds.
+#[test]
+fn rng_below_in_bounds() {
+    for case in 0..CASES {
+        let mut meta = Rng::seed_from_u64(0x51ED_0003 ^ case);
+        let seed = meta.next_u64();
+        let bound = meta.next_u64().max(1);
         let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..64 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
     }
+}
 
-    /// `range_inclusive` respects both bounds.
-    #[test]
-    fn rng_range_inclusive_in_bounds(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+/// `range_inclusive` respects both bounds.
+#[test]
+fn rng_range_inclusive_in_bounds() {
+    for case in 0..CASES {
+        let mut meta = Rng::seed_from_u64(0x51ED_0004 ^ case);
+        let (a, b) = (meta.next_u64(), meta.next_u64());
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let mut rng = Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(meta.next_u64());
         for _ in 0..32 {
             let v = rng.range_inclusive(lo, hi);
-            prop_assert!(v >= lo && v <= hi);
+            assert!(v >= lo && v <= hi);
         }
     }
+}
 
-    /// Clock conversion round-trips within a tiny error bound for any
-    /// spec-legal drift and any span up to 48 h.
-    #[test]
-    fn clock_roundtrip_error_bounded(
-        ppm in -250.0f64..250.0,
-        secs in 0u64..(48 * 3600),
-    ) {
+/// Clock conversion round-trips within a tiny error bound for any
+/// spec-legal drift and any span up to 48 h.
+#[test]
+fn clock_roundtrip_error_bounded() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x51ED_0005 ^ case);
+        let ppm = rng.range_f64(-250.0, 250.0);
+        let secs = rng.below(48 * 3600);
         let c = Clock::with_ppm(ppm);
         let d = Duration::from_secs(secs);
         let rt = c.to_local(c.to_global(d));
         let err = if rt > d { rt - d } else { d - rt };
         // Second-order ppm² term: 250 ppm² over 48 h ≈ 11 µs.
-        prop_assert!(err <= Duration::from_micros(15), "err {err}");
+        assert!(err <= Duration::from_micros(15), "err {err}");
     }
+}
 
-    /// A faster clock always yields a shorter global span (monotonic
-    /// in drift), for any positive span.
-    #[test]
-    fn clock_monotonic_in_drift(ppm in 0.1f64..250.0, ms in 1u64..100_000) {
+/// A faster clock always yields a shorter global span (monotonic
+/// in drift), for any positive span.
+#[test]
+fn clock_monotonic_in_drift() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x51ED_0006 ^ case);
+        let ppm = rng.range_f64(0.1, 250.0);
+        let ms = rng.range_inclusive(1, 100_000);
         let fast = Clock::with_ppm(ppm);
         let slow = Clock::with_ppm(-ppm);
         let d = Duration::from_millis(ms);
-        prop_assert!(fast.to_global(d) <= d);
-        prop_assert!(slow.to_global(d) >= d);
-        prop_assert!(fast.to_global(d) <= slow.to_global(d));
+        assert!(fast.to_global(d) <= d);
+        assert!(slow.to_global(d) >= d);
+        assert!(fast.to_global(d) <= slow.to_global(d));
     }
+}
 
-    /// Forked streams never panic and differ from their parent.
-    #[test]
-    fn rng_forks_differ(seed in any::<u64>(), tag in any::<u64>()) {
+/// Forked streams never panic and differ from their parent.
+#[test]
+fn rng_forks_differ() {
+    for case in 0..CASES {
+        let mut meta = Rng::seed_from_u64(0x51ED_0007 ^ case);
+        let (seed, tag) = (meta.next_u64(), meta.next_u64());
         let mut parent = Rng::seed_from_u64(seed);
         let mut child = parent.fork(tag);
-        let same = (0..32).filter(|_| parent.next_u64() == child.next_u64()).count();
-        prop_assert!(same < 4);
+        let same = (0..32)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        assert!(same < 4);
     }
 }

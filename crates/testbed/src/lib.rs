@@ -13,7 +13,10 @@
 //! * [`analysis`] — the §6.2 closed-form shading model
 //!   (`ConnItvl / ClkDrift`) used to sanity-check measured loss
 //!   counts.
-//! * [`stats`] — CDF/percentile helpers for the figures.
+//! * [`campaign`] — the canonical flattening of an experiment result
+//!   into a `mindgap_campaign` job artifact (shared metric keys), so
+//!   the figure binaries can shard their grids across a worker pool.
+//! * [`stats`] — CDF/percentile/CI helpers for the figures.
 //! * [`tables`] — the qualitative data of Table 1 (radio comparison)
 //!   and Table 2 (open-source IP-over-BLE implementations).
 
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod campaign;
 pub mod runner;
 pub mod stats;
 pub mod tables;

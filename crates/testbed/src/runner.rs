@@ -90,6 +90,11 @@ pub struct ExperimentResult {
     pub pool_drops: u64,
     /// Per-node skipped-event counts (BLE shading signal).
     pub skipped_events: Vec<u64>,
+    /// Trace events dropped by the bounded trace bus during the run.
+    /// Non-zero means the trace overflowed its record budget and some
+    /// diagnostics were lost — surfaced here (and warned about on
+    /// stderr) instead of disappearing silently.
+    pub trace_dropped: u64,
     /// Label for tables ("tree static 75ms" …).
     pub label: String,
 }
@@ -119,6 +124,14 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     let skipped_events = (0..n as u16)
         .map(|i| world.ll_counters(NodeId(i)).skipped_events)
         .collect();
+    let label = format!(
+        "{} {} producer={}ms",
+        spec.topology.name,
+        spec.policy.label(),
+        spec.producer_interval.millis()
+    );
+    let trace_dropped = world.trace.dropped();
+    warn_trace_dropped(&label, trace_dropped);
     let records = world.into_records();
     let conn_losses = records.conn_losses.len();
     ExperimentResult {
@@ -126,13 +139,18 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
         reconnects,
         pool_drops,
         skipped_events,
-        label: format!(
-            "{} {} producer={}ms",
-            spec.topology.name,
-            spec.policy.label(),
-            spec.producer_interval.millis()
-        ),
+        trace_dropped,
+        label,
         records,
+    }
+}
+
+fn warn_trace_dropped(label: &str, dropped: u64) {
+    if dropped > 0 {
+        eprintln!(
+            "[runner] warning: {label}: trace bus dropped {dropped} events \
+             (record budget exhausted; raise Trace capacity to keep them)"
+        );
     }
 }
 
@@ -149,17 +167,21 @@ pub fn run_ieee(spec: &ExperimentSpec) -> ExperimentResult {
     let end = Instant::ZERO + spec.warmup + spec.duration;
     world.run_until(end);
     world.run_until(end + Duration::from_secs(10));
+    let label = format!(
+        "{} 802.15.4 producer={}ms",
+        spec.topology.name,
+        spec.producer_interval.millis()
+    );
+    let trace_dropped = world.trace.dropped();
+    warn_trace_dropped(&label, trace_dropped);
     let records = world.into_records();
     ExperimentResult {
         conn_losses: 0,
         reconnects: 0,
         pool_drops: 0,
         skipped_events: Vec::new(),
-        label: format!(
-            "{} 802.15.4 producer={}ms",
-            spec.topology.name,
-            spec.producer_interval.millis()
-        ),
+        trace_dropped,
+        label,
         records,
     }
 }

@@ -22,6 +22,7 @@
 //! | [`energy`] | `mindgap-energy` | §5.4 battery model |
 //! | [`core`] | `mindgap-core` | node stacks, statconn, BLE & 802.15.4 worlds |
 //! | [`testbed`] | `mindgap-testbed` | topologies, runner, analysis, stats |
+//! | [`campaign`] | `mindgap-campaign` | parallel experiment campaigns, resumable artifacts |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use mindgap_ble as ble;
+pub use mindgap_campaign as campaign;
 pub use mindgap_coap as coap;
 pub use mindgap_core as core;
 pub use mindgap_dot15d4 as dot15d4;

@@ -1,0 +1,118 @@
+//! End-to-end campaign-engine regression tests on top of the real
+//! BLE experiment runner: worker-count independence (byte-identical
+//! artifacts), resume, and panic isolation.
+//!
+//! These complement the synthetic unit tests inside
+//! `mindgap_campaign::pool` — here the job body is a genuine
+//! (short) `run_ble` simulation, so the test also guards the
+//! determinism of the whole simulation stack under the pool's
+//! arbitrary scheduling order.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mindgap_campaign::{GridBuilder, RunConfig};
+use mindgap_core::IntervalPolicy;
+use mindgap_sim::Duration;
+use mindgap_testbed::campaign::to_job_result;
+use mindgap_testbed::{run_ble, ExperimentSpec, Topology};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("mindgap-campaign-it")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quiet(out_root: PathBuf, workers: usize) -> RunConfig {
+    RunConfig {
+        workers,
+        out_root,
+        resume: true,
+        progress: false,
+    }
+}
+
+fn small_grid() -> mindgap_campaign::Campaign {
+    GridBuilder::new("it-det", 42)
+        .axis("conn", ["25", "100"].iter().map(|s| s.to_string()))
+        .explicit_seeds(&[42, 43])
+        .build()
+}
+
+fn run_job(job: &mindgap_campaign::Job) -> mindgap_campaign::JobResult {
+    let ms: u64 = job.params["conn"].parse().unwrap();
+    let spec = ExperimentSpec::paper_default(
+        Topology::paper_tree(),
+        IntervalPolicy::Static(Duration::from_millis(ms)),
+        job.seed,
+    )
+    .with_duration(Duration::from_secs(20));
+    to_job_result(&run_ble(&spec), &[])
+}
+
+/// Read every job artifact of a campaign directory as raw bytes.
+fn artifact_bytes(root: &PathBuf) -> BTreeMap<String, Vec<u8>> {
+    let jobs = root.join("it-det").join("jobs");
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(&jobs).expect("jobs dir") {
+        let path = entry.unwrap().path();
+        out.insert(
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            fs::read(&path).unwrap(),
+        );
+    }
+    out
+}
+
+#[test]
+fn artifacts_identical_across_worker_counts_and_resume_skips() {
+    let root1 = scratch("w1");
+    let root4 = scratch("w4");
+
+    let report1 = mindgap_campaign::run(&small_grid(), &quiet(root1.clone(), 1), run_job);
+    let report4 = mindgap_campaign::run(&small_grid(), &quiet(root4.clone(), 4), run_job);
+    assert_eq!(report1.completed(), 4);
+    assert_eq!(report4.completed(), 4);
+    assert!(report1.failures().is_empty());
+
+    let bytes1 = artifact_bytes(&root1);
+    let bytes4 = artifact_bytes(&root4);
+    assert_eq!(bytes1.len(), 4);
+    assert_eq!(bytes1, bytes4, "artifacts must not depend on worker count");
+
+    // Second launch over the same store: every job is served from the
+    // artifacts, the body never runs.
+    let calls = AtomicUsize::new(0);
+    let resumed = mindgap_campaign::run(&small_grid(), &quiet(root1.clone(), 4), |job| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        run_job(job)
+    });
+    assert_eq!(calls.load(Ordering::SeqCst), 0, "resume must skip completed jobs");
+    assert_eq!(resumed.cached(), 4);
+    assert_eq!(bytes1, artifact_bytes(&root1), "resume must not rewrite artifacts");
+
+    let _ = fs::remove_dir_all(&root1);
+    let _ = fs::remove_dir_all(&root4);
+}
+
+#[test]
+fn panicking_job_does_not_abort_the_campaign() {
+    let root = scratch("panic");
+    let report = mindgap_campaign::run(&small_grid(), &quiet(root.clone(), 2), |job| {
+        if job.params["conn"] == "25" && job.seed_index == 0 {
+            panic!("injected failure for {}", job.id);
+        }
+        run_job(job)
+    });
+    assert_eq!(report.completed(), 3);
+    let failures = report.failures();
+    assert_eq!(failures.len(), 1);
+    assert!(failures[0].1.contains("injected failure"));
+    // The surviving jobs still produced loadable artifacts.
+    assert_eq!(artifact_bytes(&root).len(), 3);
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,15 +1,18 @@
-//! Property-based tests over the wire codecs, spanning crates.
+//! Randomized tests over the wire codecs, spanning crates.
 //!
 //! Each property is a structural invariant a fuzzer would look for:
 //! round-trips are identity, decoders never panic on arbitrary bytes,
-//! compression never corrupts.
-
-use proptest::prelude::*;
+//! compression never corrupts. Cases are generated from the kernel's
+//! deterministic [`Rng`] (one seed per case), so every run explores
+//! the same inputs and failures reproduce exactly.
 
 use mindgap::ble::pdu::{DataPdu, Llid};
 use mindgap::coap::{Code, Message, MsgType, OptionNumber};
 use mindgap::net::{udp, Ipv6Addr, Ipv6Header, NextHeader};
+use mindgap::sim::Rng;
 use mindgap::sixlowpan::{frag, iphc, LinkContext, LlAddr};
+
+const CASES: u64 = 64;
 
 fn ctx(a: u16, b: u16) -> LinkContext {
     LinkContext {
@@ -18,88 +21,96 @@ fn ctx(a: u16, b: u16) -> LinkContext {
     }
 }
 
-proptest! {
-    /// UDP encode → decode is the identity on (ports, payload), and
-    /// the checksum always verifies.
-    #[test]
-    fn udp_roundtrip(
-        sp in any::<u16>(),
-        dp in any::<u16>(),
-        a in 0u16..100,
-        b in 0u16..100,
-        payload in proptest::collection::vec(any::<u8>(), 0..600),
-    ) {
+fn random_bytes(rng: &mut Rng, max_len: u64) -> Vec<u8> {
+    let n = rng.below(max_len + 1) as usize;
+    (0..n).map(|_| rng.below(256) as u8).collect()
+}
+
+/// UDP encode → decode is the identity on (ports, payload), and
+/// the checksum always verifies.
+#[test]
+fn udp_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_001 ^ case);
+        let sp = rng.below(1 << 16) as u16;
+        let dp = rng.below(1 << 16) as u16;
+        let a = rng.below(100) as u16;
+        let b = rng.below(100) as u16;
+        let payload = random_bytes(&mut rng, 599);
         let src = Ipv6Addr::of_node(a);
         let dst = Ipv6Addr::of_node(b);
         let dgram = udp::encode(&src, &dst, sp, dp, &payload);
         let (hdr, data) = udp::decode(&src, &dst, &dgram).expect("verify");
-        prop_assert_eq!(hdr.src_port, sp);
-        prop_assert_eq!(hdr.dst_port, dp);
-        prop_assert_eq!(data, &payload[..]);
+        assert_eq!(hdr.src_port, sp);
+        assert_eq!(hdr.dst_port, dp);
+        assert_eq!(data, &payload[..]);
     }
+}
 
-    /// A single corrupted byte anywhere in a UDP datagram is detected
-    /// (length or checksum), except in the checksum field itself when
-    /// the flip produces the alternate zero representation.
-    #[test]
-    fn udp_detects_single_byte_corruption(
-        payload in proptest::collection::vec(any::<u8>(), 1..100),
-        flip_idx in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
+/// A single corrupted byte anywhere in a UDP datagram is detected
+/// (length or checksum), except in the checksum field itself when
+/// the flip produces the alternate zero representation.
+#[test]
+fn udp_detects_single_byte_corruption() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_002 ^ case);
+        let payload: Vec<u8> = {
+            let n = rng.range_inclusive(1, 99) as usize;
+            (0..n).map(|_| rng.below(256) as u8).collect()
+        };
         let src = Ipv6Addr::of_node(1);
         let dst = Ipv6Addr::of_node(2);
         let mut dgram = udp::encode(&src, &dst, 5683, 5683, &payload);
-        let idx = flip_idx.index(dgram.len());
+        let idx = rng.below(dgram.len() as u64) as usize;
+        let flip_bit = rng.below(8) as u8;
         dgram[idx] ^= 1 << flip_bit;
         if let Ok((_, data)) = udp::decode(&src, &dst, &dgram) {
             // Accepted ⇒ semantically identical payload & the flip hit
             // the checksum's redundant encoding.
-            prop_assert_eq!(data, &payload[..]);
-            prop_assert!((6..8).contains(&idx));
+            assert_eq!(data, &payload[..]);
+            assert!((6..8).contains(&idx));
         }
     }
+}
 
-    /// IPv6 header encode/decode identity.
-    #[test]
-    fn ipv6_header_roundtrip(
-        tc in any::<u8>(),
-        fl in 0u32..(1 << 20),
-        hlim in any::<u8>(),
-        nh in any::<u8>(),
-        a in 0u16..1000,
-        b in 0u16..1000,
-        plen in 0u16..512,
-    ) {
+/// IPv6 header encode/decode identity.
+#[test]
+fn ipv6_header_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_003 ^ case);
         let hdr = Ipv6Header {
-            traffic_class: tc,
-            flow_label: fl,
-            payload_len: plen,
-            next_header: NextHeader::from(nh),
-            hop_limit: hlim,
-            src: Ipv6Addr::of_node(a),
-            dst: Ipv6Addr::of_node(b),
+            traffic_class: rng.below(256) as u8,
+            flow_label: rng.below(1 << 20) as u32,
+            payload_len: rng.below(512) as u16,
+            next_header: NextHeader::from(rng.below(256) as u8),
+            hop_limit: rng.below(256) as u8,
+            src: Ipv6Addr::of_node(rng.below(1000) as u16),
+            dst: Ipv6Addr::of_node(rng.below(1000) as u16),
         };
         let mut bytes = hdr.encode().to_vec();
-        bytes.extend(std::iter::repeat_n(0u8, plen as usize));
-        prop_assert_eq!(Ipv6Header::decode(&bytes).unwrap(), hdr);
+        bytes.extend(std::iter::repeat_n(0u8, hdr.payload_len as usize));
+        assert_eq!(Ipv6Header::decode(&bytes).unwrap(), hdr);
     }
+}
 
-    /// IPHC compress → decompress is the identity for any UDP packet
-    /// between link-local nodes, with any traffic class, flow label
-    /// and hop limit.
-    #[test]
-    fn iphc_roundtrip_udp(
-        a in 0u16..64,
-        b in 0u16..64,
-        tc in any::<u8>(),
-        fl in 0u32..(1 << 20),
-        hlim in 1u8..=255,
-        sp in any::<u16>(),
-        dp in any::<u16>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
-        prop_assume!(a != b);
+/// IPHC compress → decompress is the identity for any UDP packet
+/// between link-local nodes, with any traffic class, flow label
+/// and hop limit.
+#[test]
+fn iphc_roundtrip_udp() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_004 ^ case);
+        let a = rng.below(64) as u16;
+        let b = (a + 1 + rng.below(63) as u16) % 64;
+        if a == b {
+            continue;
+        }
+        let tc = rng.below(256) as u8;
+        let fl = rng.below(1 << 20) as u32;
+        let hlim = rng.range_inclusive(1, 255) as u8;
+        let sp = rng.below(1 << 16) as u16;
+        let dp = rng.below(1 << 16) as u16;
+        let payload = random_bytes(&mut rng, 255);
         let src = Ipv6Addr::of_node(a);
         let dst = Ipv6Addr::of_node(b);
         let dgram = udp::encode(&src, &dst, sp, dp, &payload);
@@ -111,24 +122,33 @@ proptest! {
         packet[7] = hlim;
         let frame = iphc::encode_frame(&packet, &ctx(a, b));
         let back = iphc::decode_frame(&frame, &ctx(a, b)).expect("roundtrip");
-        prop_assert_eq!(back, packet);
+        assert_eq!(back, packet);
     }
+}
 
-    /// The IPHC decoder never panics on arbitrary input bytes.
-    #[test]
-    fn iphc_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+/// The IPHC decoder never panics on arbitrary input bytes.
+#[test]
+fn iphc_decoder_total() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_005 ^ case);
+        let bytes = random_bytes(&mut rng, 299);
         let _ = iphc::decode_frame(&bytes, &ctx(1, 2));
     }
+}
 
-    /// Fragmentation reassembles any datagram at any viable MTU, even
-    /// with fragments delivered in reverse.
-    #[test]
-    fn fragmentation_roundtrip(
-        datagram in proptest::collection::vec(any::<u8>(), 1..1500),
-        mtu in 50usize..128,
-        tag in any::<u16>(),
-        reverse in any::<bool>(),
-    ) {
+/// Fragmentation reassembles any datagram at any viable MTU, even
+/// with fragments delivered in reverse.
+#[test]
+fn fragmentation_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_006 ^ case);
+        let datagram: Vec<u8> = {
+            let n = rng.range_inclusive(1, 1499) as usize;
+            (0..n).map(|_| rng.below(256) as u8).collect()
+        };
+        let mtu = rng.range_inclusive(50, 127) as usize;
+        let tag = rng.below(1 << 16) as u16;
+        let reverse = rng.chance(0.5);
         let mut frames = frag::fragment(&datagram, tag, mtu);
         if reverse {
             frames.reverse();
@@ -136,24 +156,30 @@ proptest! {
         let mut r = frag::Reassembler::new(u64::MAX);
         let mut out = None;
         for f in &frames {
-            prop_assert!(f.len() <= mtu);
+            assert!(f.len() <= mtu);
             out = r.on_fragment(9, f, 0).expect("valid fragment").or(out);
         }
-        prop_assert_eq!(out.expect("complete"), datagram);
+        assert_eq!(out.expect("complete"), datagram);
     }
+}
 
-    /// CoAP encode → decode identity for arbitrary messages.
-    #[test]
-    fn coap_roundtrip(
-        mid in any::<u16>(),
-        token in proptest::collection::vec(any::<u8>(), 0..=8),
-        nopts in 0usize..6,
-        opt_base in 1u16..100,
-        payload in proptest::collection::vec(any::<u8>(), 0..200),
-        con in any::<bool>(),
-    ) {
+/// CoAP encode → decode identity for arbitrary messages.
+#[test]
+fn coap_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_007 ^ case);
+        let mid = rng.below(1 << 16) as u16;
+        let token = random_bytes(&mut rng, 8);
+        let nopts = rng.below(6) as usize;
+        let opt_base = rng.range_inclusive(1, 99) as u16;
+        let payload = random_bytes(&mut rng, 199);
+        let con = rng.chance(0.5);
         let mut msg = Message {
-            mtype: if con { MsgType::Confirmable } else { MsgType::NonConfirmable },
+            mtype: if con {
+                MsgType::Confirmable
+            } else {
+                MsgType::NonConfirmable
+            },
             code: Code::GET,
             message_id: mid,
             token,
@@ -161,58 +187,69 @@ proptest! {
             payload,
         };
         for i in 0..nopts {
-            msg.options.push((
-                OptionNumber::from(opt_base + i as u16 * 37),
-                vec![i as u8; i],
-            ));
+            msg.options
+                .push((OptionNumber::from(opt_base + i as u16 * 37), vec![i as u8; i]));
         }
         let enc = msg.encode();
         let dec = Message::decode(&enc).expect("roundtrip");
         // Encoder sorts options; compare as multisets.
         let mut want = msg.options.clone();
         want.sort_by_key(|(n, _)| n.value());
-        prop_assert_eq!(dec.options, want);
-        prop_assert_eq!(dec.message_id, msg.message_id);
-        prop_assert_eq!(dec.token, msg.token);
-        prop_assert_eq!(dec.payload, msg.payload);
+        assert_eq!(dec.options, want);
+        assert_eq!(dec.message_id, msg.message_id);
+        assert_eq!(dec.token, msg.token);
+        assert_eq!(dec.payload, msg.payload);
     }
+}
 
-    /// The CoAP decoder never panics on arbitrary bytes.
-    #[test]
-    fn coap_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+/// The CoAP decoder never panics on arbitrary bytes.
+#[test]
+fn coap_decoder_total() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_008 ^ case);
+        let bytes = random_bytes(&mut rng, 299);
         let _ = Message::decode(&bytes);
     }
+}
 
-    /// BLE data-PDU codec identity, and the decoder is total.
-    #[test]
-    fn ble_pdu_roundtrip(
-        nesn in any::<bool>(),
-        sn in any::<bool>(),
-        md in any::<bool>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..=251),
-    ) {
+/// BLE data-PDU codec identity, and the decoder is total.
+#[test]
+fn ble_pdu_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_009 ^ case);
+        let payload = random_bytes(&mut rng, 251);
         let pdu = DataPdu {
-            llid: if payload.is_empty() { Llid::DataContinuation } else { Llid::DataStart },
-            nesn,
-            sn,
-            md,
+            llid: if payload.is_empty() {
+                Llid::DataContinuation
+            } else {
+                Llid::DataStart
+            },
+            nesn: rng.chance(0.5),
+            sn: rng.chance(0.5),
+            md: rng.chance(0.5),
             payload,
         };
-        prop_assert_eq!(DataPdu::decode(&pdu.encode()), Some(pdu));
+        assert_eq!(DataPdu::decode(&pdu.encode()), Some(pdu));
     }
+}
 
-    #[test]
-    fn ble_pdu_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn ble_pdu_decoder_total() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_00A ^ case);
+        let bytes = random_bytes(&mut rng, 299);
         let _ = DataPdu::decode(&bytes);
     }
+}
 
-    /// L2CAP K-frame segmentation and reassembly is the identity for
-    /// any SDU size and any link budget.
-    #[test]
-    fn l2cap_sdu_roundtrip(
-        sdu in proptest::collection::vec(any::<u8>(), 0..1280),
-        max_pdu in 27usize..=251,
-    ) {
+/// L2CAP K-frame segmentation and reassembly is the identity for
+/// any SDU size and any link budget.
+#[test]
+fn l2cap_sdu_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_00B ^ case);
+        let sdu = random_bytes(&mut rng, 1279);
+        let max_pdu = rng.range_inclusive(27, 251) as usize;
         use mindgap::l2cap::{BufPool, CocChannel, CocConfig};
         let cfg = CocConfig::default();
         let mut a = CocChannel::symmetric(cfg, 0x40, 0x41);
@@ -230,31 +267,38 @@ proptest! {
                 a.grant(back);
             }
         }
-        prop_assert_eq!(got.expect("sdu complete"), sdu);
-        prop_assert_eq!(pool.used(), 0);
+        assert_eq!(got.expect("sdu complete"), sdu);
+        assert_eq!(pool.used(), 0);
     }
+}
 
-    /// CSA#2 always returns a channel inside the map, for any access
-    /// address, event counter and (valid) map.
-    #[test]
-    fn csa2_stays_in_map(
-        aa in any::<u32>(),
-        ev in any::<u16>(),
-        mask in 0u64..(1 << 37),
-    ) {
-        use mindgap::ble::channels::{csa2_channel, ChannelMap};
-        prop_assume!(mask.count_ones() >= 2);
+/// CSA#2 always returns a channel inside the map, for any access
+/// address, event counter and (valid) map.
+#[test]
+fn csa2_stays_in_map() {
+    use mindgap::ble::channels::{csa2_channel, ChannelMap};
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0DEC_00C ^ case);
+        let aa = rng.below(1 << 32) as u32;
+        let ev = rng.below(1 << 16) as u16;
+        let mask = rng.below(1 << 37);
+        if mask.count_ones() < 2 {
+            continue;
+        }
         let map = ChannelMap::from_mask(mask);
         let ch = csa2_channel(aa, ev, map);
-        prop_assert!(map.contains(ch));
+        assert!(map.contains(ch));
     }
+}
 
-    /// Generated access addresses always satisfy the spec rules.
-    #[test]
-    fn access_addresses_valid(seed in any::<u64>()) {
-        use mindgap::ble::aa;
-        let mut rng = mindgap::sim::Rng::seed_from_u64(seed);
+/// Generated access addresses always satisfy the spec rules.
+#[test]
+fn access_addresses_valid() {
+    use mindgap::ble::aa;
+    for case in 0..CASES {
+        let mut meta = Rng::seed_from_u64(0xC0DEC_00D ^ case);
+        let mut rng = Rng::seed_from_u64(meta.next_u64());
         let a = aa::generate(&mut rng);
-        prop_assert!(aa::is_valid(a));
+        assert!(aa::is_valid(a));
     }
 }
