@@ -69,9 +69,10 @@ fn bench_l2cap() {
         let mut a = CocChannel::symmetric(cfg, 0x40, 0x41);
         let mut rx = CocChannel::symmetric(cfg, 0x41, 0x40);
         let mut pool = BufPool::new(1 << 16);
+        let mut bufs = mindgap_sim::BytePool::new();
         a.send_sdu(vec![0xDA; 1024], &mut pool).unwrap();
         let mut out = None;
-        while let Some(pdu) = a.next_pdu(251, &mut pool) {
+        while let Some(pdu) = a.next_pdu(251, &mut pool, &mut bufs) {
             let dec = mindgap_l2cap::frame::decode_basic(&pdu).unwrap();
             if let Some(sdu) = rx.on_pdu(dec.payload).unwrap() {
                 out = Some(sdu);

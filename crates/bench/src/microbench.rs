@@ -58,7 +58,19 @@ pub fn bench<T>(name: &str, f: impl FnMut() -> T) {
 
 /// For meso-benchmarks whose single iteration is already seconds:
 /// run `f` `n` times, print best/median per iteration.
-pub fn bench_n<T>(name: &str, n: usize, mut f: impl FnMut() -> T) {
+pub fn bench_n<T>(name: &str, n: usize, f: impl FnMut() -> T) {
+    let samples = samples_n(n, f);
+    println!(
+        "{name:<40} {:>12} .. {:>12}   (1 iter × {n} samples)",
+        fmt_ns(samples[0]),
+        fmt_ns(samples[samples.len() / 2]),
+    );
+}
+
+/// Like [`bench_n`], but return the sorted per-iteration wall times
+/// instead of printing — for benches that persist their results
+/// (`kernelbench` writes `BENCH_kernel.json` from these).
+pub fn samples_n<T>(n: usize, mut f: impl FnMut() -> T) -> Vec<Duration> {
     let mut samples: Vec<Duration> = (0..n.max(1))
         .map(|_| {
             let t0 = Instant::now();
@@ -67,11 +79,7 @@ pub fn bench_n<T>(name: &str, n: usize, mut f: impl FnMut() -> T) {
         })
         .collect();
     samples.sort();
-    println!(
-        "{name:<40} {:>12} .. {:>12}   (1 iter × {n} samples)",
-        fmt_ns(samples[0]),
-        fmt_ns(samples[samples.len() / 2]),
-    );
+    samples
 }
 
 /// Print a section header for a group of related benchmarks.

@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use mindgap_sim::{Duration, Instant, NodeId};
+use mindgap_sim::{BytePool, Duration, Instant, NodeId};
 
 use crate::channels::ChannelSelector;
 use crate::config::ConnParams;
@@ -259,13 +259,17 @@ impl Connection {
     /// unacked SN would make the receiver discard it as a
     /// retransmission while still acknowledging it, silently losing
     /// the packet.
-    pub fn next_pdu(&mut self) -> DataPdu {
+    ///
+    /// The transmitted copy of the payload is drawn from `bufs` (and
+    /// recycled by the world when the frame leaves the air), so steady
+    /// state transmits without heap allocation.
+    pub fn next_pdu(&mut self, bufs: &mut BytePool) -> DataPdu {
         let (llid, payload): (Llid, Vec<u8>) = match &self.in_flight {
             Some((l, p)) => {
                 if !p.is_empty() {
                     self.stats.retransmissions += 1;
                 }
-                (*l, p.clone())
+                (*l, if p.is_empty() { Vec::new() } else { bufs.take_copy(p) })
             }
             None => {
                 let (l, p) = self
@@ -276,8 +280,9 @@ impl Connection {
                     self.stats.data_pdus_tx += 1;
                     self.stats.bytes_tx += p.len() as u64;
                 }
-                self.in_flight = Some((l, p.clone()));
-                (l, p)
+                let copy = if p.is_empty() { Vec::new() } else { bufs.take_copy(&p) };
+                self.in_flight = Some((l, p));
+                (l, copy)
             }
         };
         let md = !self.queue.is_empty();
@@ -295,13 +300,17 @@ impl Connection {
     }
 
     /// Process a received PDU's ARQ bits. Returns the payload if it is
-    /// new data (not a duplicate, not empty).
-    pub fn process_rx(&mut self, pdu: &DataPdu) -> Option<Vec<u8>> {
+    /// new data (not a duplicate, not empty); the returned buffer is
+    /// drawn from `bufs`, and an acknowledged in-flight payload is
+    /// recycled into it.
+    pub fn process_rx(&mut self, pdu: &DataPdu, bufs: &mut BytePool) -> Option<Vec<u8>> {
         // Their NESN acknowledges our SN: if it moved past our current
         // SN, our in-flight PDU arrived.
         if pdu.nesn != self.sn {
             self.sn = !self.sn;
-            self.in_flight = None;
+            if let Some((_, p)) = self.in_flight.take() {
+                bufs.put(p);
+            }
         }
         // Their SN vs our NESN: new data or a retransmission?
         if pdu.sn == self.nesn {
@@ -313,7 +322,7 @@ impl Connection {
                     self.stats.data_pdus_rx += 1;
                     self.stats.bytes_rx += pdu.payload.len() as u64;
                 }
-                Some(pdu.payload.clone())
+                Some(bufs.take_copy(&pdu.payload))
             }
         } else {
             if !pdu.payload.is_empty() {
@@ -336,10 +345,11 @@ mod tests {
     /// Run one lossless exchange in both directions and return what
     /// each side delivered upward.
     fn exchange(c: &mut Connection, s: &mut Connection) -> (Option<Vec<u8>>, Option<Vec<u8>>) {
-        let c_pdu = c.next_pdu();
-        let to_sub = s.process_rx(&c_pdu);
-        let s_pdu = s.next_pdu();
-        let to_coord = c.process_rx(&s_pdu);
+        let bufs = &mut BytePool::new();
+        let c_pdu = c.next_pdu(bufs);
+        let to_sub = s.process_rx(&c_pdu, bufs);
+        let s_pdu = s.next_pdu(bufs);
+        let to_coord = c.process_rx(&s_pdu, bufs);
         (to_sub, to_coord)
     }
 
@@ -369,21 +379,22 @@ mod tests {
         let mut c = conn(Role::Coordinator);
         let mut s = conn(Role::Subordinate);
         c.queue.push_back((Llid::DataStart, vec![9]));
+        let bufs = &mut BytePool::new();
         // Coordinator sends; subordinate receives; reply is LOST.
-        let c_pdu = c.next_pdu();
-        assert_eq!(s.process_rx(&c_pdu), Some(vec![9]));
-        let _lost_reply = s.next_pdu();
+        let c_pdu = c.next_pdu(bufs);
+        assert_eq!(s.process_rx(&c_pdu, bufs), Some(vec![9]));
+        let _lost_reply = s.next_pdu(bufs);
         // Next event: coordinator retransmits (no ack seen).
         assert!(c.in_flight.is_some());
-        let c_pdu2 = c.next_pdu();
+        let c_pdu2 = c.next_pdu(bufs);
         assert_eq!(c_pdu2.payload, vec![9]);
         assert_eq!(c.stats.retransmissions, 1);
         // Subordinate recognises the duplicate.
-        assert_eq!(s.process_rx(&c_pdu2), None);
+        assert_eq!(s.process_rx(&c_pdu2, bufs), None);
         assert_eq!(s.stats.duplicates_rx, 1);
         // Its reply now acks; coordinator clears in-flight.
-        let s_pdu2 = s.next_pdu();
-        let _ = c.process_rx(&s_pdu2);
+        let s_pdu2 = s.next_pdu(bufs);
+        let _ = c.process_rx(&s_pdu2, bufs);
         assert!(c.in_flight.is_none());
     }
 
@@ -392,12 +403,13 @@ mod tests {
         let mut c = conn(Role::Coordinator);
         c.queue.push_back((Llid::DataStart, vec![1]));
         c.queue.push_back((Llid::DataStart, vec![2]));
-        let p1 = c.next_pdu();
+        let bufs = &mut BytePool::new();
+        let p1 = c.next_pdu(bufs);
         assert!(p1.md, "more data queued");
         // Simulate ack so the next pop happens.
         c.sn = !c.sn;
         c.in_flight = None;
-        let p2 = c.next_pdu();
+        let p2 = c.next_pdu(bufs);
         assert!(!p2.md, "queue drained");
         assert_eq!(p2.payload, vec![2]);
     }

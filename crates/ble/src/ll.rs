@@ -46,10 +46,9 @@
 //! * Connection termination is host-driven on both ends at once
 //!   (`close`); the LL_TERMINATE_IND exchange is not simulated.
 
-use std::collections::BTreeMap;
 
 use mindgap_phy::{airtime, Channel};
-use mindgap_sim::{Clock, Duration, Instant, NodeId, Rng};
+use mindgap_sim::{BytePool, Clock, Duration, Instant, NodeId, Rng};
 
 use crate::aa;
 use crate::channels::ChannelMap;
@@ -327,13 +326,39 @@ pub struct LinkLayer {
     clock: Clock,
     rng: Rng,
     sched: RadioScheduler,
-    conns: BTreeMap<ConnId, Connection>,
+    /// Live connections, sorted by id (a node coordinates/subordinates
+    /// a handful at most, so linear scans beat tree lookups and keep
+    /// iteration order identical to the former BTreeMap).
+    conns: Vec<Connection>,
     adv: Option<AdvState>,
     adv_gen: u64,
     scan: Option<ScanState>,
     scan_gen: u64,
     pending_connect: Option<PendingConnect>,
     counters: LlCounters,
+    /// Recycling storage for data-path payload buffers (PDU copies,
+    /// delivered payloads, L2CAP K-frames). See `mindgap_sim::BytePool`.
+    bufs: BytePool,
+}
+
+/// Keyed lookups over the (small, id-sorted) connection list. Free
+/// functions so callers can borrow `conns` alongside other fields.
+fn find_conn(conns: &[Connection], id: ConnId) -> Option<&Connection> {
+    conns.iter().find(|c| c.id == id)
+}
+
+fn find_conn_mut(conns: &mut [Connection], id: ConnId) -> Option<&mut Connection> {
+    conns.iter_mut().find(|c| c.id == id)
+}
+
+fn take_conn(conns: &mut Vec<Connection>, id: ConnId) -> Option<Connection> {
+    let i = conns.iter().position(|c| c.id == id)?;
+    Some(conns.remove(i))
+}
+
+fn add_conn(conns: &mut Vec<Connection>, conn: Connection) {
+    let pos = conns.partition_point(|c| c.id < conn.id);
+    conns.insert(pos, conn);
 }
 
 impl LinkLayer {
@@ -346,14 +371,28 @@ impl LinkLayer {
             clock,
             rng,
             sched: RadioScheduler::new(),
-            conns: BTreeMap::new(),
+            conns: Vec::new(),
             adv: None,
             adv_gen: 0,
             scan: None,
             scan_gen: 0,
             pending_connect: None,
             counters: LlCounters::default(),
+            bufs: BytePool::new(),
         }
+    }
+
+    /// The node's recycling buffer pool. The world borrows this to
+    /// source L2CAP K-frame buffers and to return payload buffers
+    /// whose journey ended (frame transmitted, datagram decoded).
+    pub fn buffers(&mut self) -> &mut BytePool {
+        &mut self.bufs
+    }
+
+    /// Return a payload buffer to the node's pool once the kernel is
+    /// done with it.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        self.bufs.put(buf);
     }
 
     /// This node's id.
@@ -378,20 +417,20 @@ impl LinkLayer {
 
     /// Stats of one connection.
     pub fn conn_stats(&self, conn: ConnId) -> Option<ConnStats> {
-        self.conns.get(&conn).map(|c| c.stats)
+        find_conn(&self.conns, conn).map(|c| c.stats)
     }
 
     /// Ids, peers and roles of live connections.
     pub fn connections(&self) -> Vec<(ConnId, NodeId, Role)> {
         self.conns
-            .values()
+            .iter()
             .map(|c| (c.id, c.peer, c.role))
             .collect()
     }
 
     /// Interval of a live connection (local units).
     pub fn conn_interval(&self, conn: ConnId) -> Option<Duration> {
-        self.conns.get(&conn).map(|c| c.params.interval)
+        find_conn(&self.conns, conn).map(|c| c.params.interval)
     }
 
     /// `true` while advertising is active.
@@ -406,8 +445,7 @@ impl LinkLayer {
 
     /// Free PDU slots in a connection's transmit queue.
     pub fn queue_space(&self, conn: ConnId) -> usize {
-        self.conns
-            .get(&conn)
+        find_conn(&self.conns, conn)
             .map(|c| self.cfg.ll_queue_cap.saturating_sub(c.queue.len()))
             .unwrap_or(0)
     }
@@ -416,7 +454,7 @@ impl LinkLayer {
     /// is full or the connection is gone, returning the payload.
     pub fn enqueue(&mut self, conn: ConnId, payload: Vec<u8>) -> Result<(), Vec<u8>> {
         assert!(payload.len() <= self.cfg.max_pdu, "PDU exceeds LL maximum");
-        match self.conns.get_mut(&conn) {
+        match find_conn_mut(&mut self.conns, conn) {
             Some(c) if c.queue.len() < self.cfg.ll_queue_cap => {
                 c.queue.push_back((crate::pdu::Llid::DataStart, payload));
                 Ok(())
@@ -429,10 +467,11 @@ impl LinkLayer {
     // Advertising / scanning control
     // ------------------------------------------------------------------
 
-    /// Begin advertising (subordinate role in statconn).
-    pub fn start_advertising(&mut self, now: Instant) -> Vec<Output> {
+    /// Begin advertising (subordinate role in statconn). Outputs are
+    /// pushed into `out` (the world's reusable scratch buffer).
+    pub fn start_advertising(&mut self, now: Instant, out: &mut Vec<Output>) {
         if self.adv.is_some() {
-            return Vec::new();
+            return;
         }
         self.adv_gen += 1;
         self.adv = Some(AdvState {
@@ -444,7 +483,7 @@ impl LinkLayer {
         // restarted advertisers do not synchronise.
         let interval = self.clock.to_global(self.cfg.adv_interval);
         let delay = Duration::from_nanos(self.rng.below(interval.nanos().max(1)));
-        vec![arm_out(now + delay, TimerKind::AdvEvent, self.adv_gen)]
+        out.push(arm_out(now + delay, TimerKind::AdvEvent, self.adv_gen));
     }
 
     /// Stop advertising.
@@ -466,7 +505,8 @@ impl LinkLayer {
         advertiser: NodeId,
         conn_id: ConnId,
         params: ConnParams,
-    ) -> Vec<Output> {
+        out: &mut Vec<Output>,
+    ) {
         params.validate();
         let target = ScanTarget {
             advertiser,
@@ -476,7 +516,6 @@ impl LinkLayer {
         match &mut self.scan {
             Some(s) => {
                 s.targets.push(target);
-                Vec::new()
             }
             None => {
                 self.scan_gen += 1;
@@ -494,7 +533,7 @@ impl LinkLayer {
                     reservation: None,
                     pending: None,
                 });
-                vec![arm_out(now + jitter, TimerKind::ScanStart, self.scan_gen)]
+                out.push(arm_out(now + jitter, TimerKind::ScanStart, self.scan_gen));
             }
         }
     }
@@ -515,8 +554,8 @@ impl LinkLayer {
 
     /// Host-initiated connection close (both ends are closed by the
     /// world; see module docs).
-    pub fn close(&mut self, conn: ConnId, now: Instant) -> Vec<Output> {
-        self.teardown(conn, now, LossReason::LocalClose)
+    pub fn close(&mut self, conn: ConnId, now: Instant, out: &mut Vec<Output>) {
+        self.teardown(conn, now, LossReason::LocalClose, out);
     }
 
     /// Initiate the LL connection-update procedure (coordinator only):
@@ -532,7 +571,7 @@ impl LinkLayer {
         let max_off = new_interval.nanos().max(1_250_000);
         let win_offset =
             Duration::from_nanos(self.rng.below(max_off) / 1_250_000 * 1_250_000);
-        let Some(c) = self.conns.get_mut(&conn) else {
+        let Some(c) = find_conn_mut(&mut self.conns, conn) else {
             return Err("unknown connection");
         };
         if c.role != Role::Coordinator {
@@ -560,7 +599,7 @@ impl LinkLayer {
         conn: ConnId,
         map: ChannelMap,
     ) -> Result<(), &'static str> {
-        let Some(c) = self.conns.get_mut(&conn) else {
+        let Some(c) = find_conn_mut(&mut self.conns, conn) else {
             return Err("unknown connection");
         };
         if c.role != Role::Coordinator {
@@ -578,87 +617,93 @@ impl LinkLayer {
 
     /// Channel map currently used by a connection.
     pub fn conn_channel_map(&self, conn: ConnId) -> Option<ChannelMap> {
-        self.conns.get(&conn).map(|c| c.selector.map())
+        find_conn(&self.conns, conn).map(|c| c.selector.map())
     }
 
     // ------------------------------------------------------------------
     // Entry points
     // ------------------------------------------------------------------
 
-    /// A timer armed earlier fires.
-    pub fn on_timer(&mut self, now: Instant, timer: Timer) -> Vec<Output> {
-        let mut out = Vec::new();
+    /// A timer armed earlier fires. Outputs are pushed into `out`, a
+    /// scratch buffer the caller owns and drains — the hot path
+    /// allocates nothing per event.
+    pub fn on_timer(&mut self, now: Instant, timer: Timer, out: &mut Vec<Output>) {
         match timer.kind {
             TimerKind::EventPrep(id) => {
                 if self.gen_ok(id, timer.gen) {
-                    self.prep_event(now, id, &mut out);
+                    self.prep_event(now, id, out);
                 }
             }
             TimerKind::EventStart(id) => {
                 if self.gen_ok(id, timer.gen) {
-                    self.coord_event_start(now, id, &mut out);
+                    self.coord_event_start(now, id, out);
                 }
             }
             TimerKind::ListenStart(id) => {
                 if self.gen_ok(id, timer.gen) {
-                    self.sub_listen_start(now, id, &mut out);
+                    self.sub_listen_start(now, id, out);
                 }
             }
             TimerKind::ListenEnd(id) => {
                 if self.xgen_ok(id, timer.gen) {
-                    self.sub_listen_end(now, id, &mut out);
+                    self.sub_listen_end(now, id, out);
                 }
             }
             TimerKind::ReplyWait(id) => {
                 if self.xgen_ok(id, timer.gen) {
-                    self.coord_reply_timeout(now, id, &mut out);
+                    self.coord_reply_timeout(now, id, out);
                 }
             }
             TimerKind::Continue(id) => {
                 if self.xgen_ok(id, timer.gen) {
-                    self.continue_event(now, id, &mut out);
+                    self.continue_event(now, id, out);
                 }
             }
-            TimerKind::Supervision(id) => self.supervision_check(now, id, &mut out),
+            TimerKind::Supervision(id) => self.supervision_check(now, id, out),
             TimerKind::AdvEvent => {
                 if timer.gen == self.adv_gen && self.adv.is_some() {
-                    self.adv_train_begin(now, &mut out);
+                    self.adv_train_begin(now, out);
                 }
             }
             TimerKind::AdvStep(step) => {
                 if timer.gen == self.adv_gen && self.adv.is_some() {
-                    self.adv_step(now, step, &mut out);
+                    self.adv_step(now, step, out);
                 }
             }
             TimerKind::ScanStart => {
                 if timer.gen == self.scan_gen && self.scan.is_some() {
-                    self.scan_window_begin(now, &mut out);
+                    self.scan_window_begin(now, out);
                 }
             }
             TimerKind::ScanEnd => {
                 if timer.gen == self.scan_gen && self.scan.is_some() {
-                    self.scan_window_end(now, &mut out);
+                    self.scan_window_end(now, out);
                 }
             }
             TimerKind::SendConnectInd => {
                 if timer.gen == self.scan_gen && self.scan.is_some() {
-                    self.send_connect_ind(now, &mut out);
+                    self.send_connect_ind(now, out);
                 }
             }
         }
-        out
     }
 
     /// A frame finished arriving intact while we were listening.
-    pub fn on_frame_rx(&mut self, now: Instant, frame: &Frame, channel: Channel) -> Vec<Output> {
-        let mut out = Vec::new();
+    /// Outputs are pushed into `out` (see [`LinkLayer::on_timer`]).
+    pub fn on_frame_rx(
+        &mut self,
+        now: Instant,
+        frame: &Frame,
+        channel: Channel,
+        out: &mut Vec<Output>,
+    ) {
         match frame {
             Frame::Data {
                 conn,
                 access_address,
                 pdu,
                 ..
-            } => self.conn_frame_rx(now, *conn, *access_address, pdu, channel, &mut out),
+            } => self.conn_frame_rx(now, *conn, *access_address, pdu, channel, out),
             Frame::ConnectInd {
                 initiator,
                 advertiser,
@@ -677,34 +722,32 @@ impl LinkLayer {
                         *params,
                         *win_offset,
                         *win_size,
-                        &mut out,
+                        out,
                     );
                 }
             }
             Frame::AdvInd { advertiser, .. } => {
-                self.scanner_saw_adv(now, *advertiser, &mut out);
+                self.scanner_saw_adv(now, *advertiser, out);
             }
         }
-        out
     }
 
     /// The frame we were transmitting has left the antenna. The world
     /// passes the frame back so completions are attributed correctly
     /// even when (buggy or adversarial) schedules overlap
-    /// transmissions.
-    pub fn on_tx_done(&mut self, now: Instant, frame: &Frame) -> Vec<Output> {
-        let mut out = Vec::new();
+    /// transmissions. Outputs are pushed into `out` (see
+    /// [`LinkLayer::on_timer`]).
+    pub fn on_tx_done(&mut self, now: Instant, frame: &Frame, out: &mut Vec<Output>) {
         match frame {
-            Frame::Data { conn, .. } => self.conn_tx_done(now, *conn, &mut out),
+            Frame::Data { conn, .. } => self.conn_tx_done(now, *conn, out),
             Frame::AdvInd { .. } => {
                 let step = self.adv.as_ref().map(|a| a.current_step).unwrap_or(0);
-                self.adv_tx_done(now, step, &mut out);
+                self.adv_tx_done(now, step, out);
             }
             Frame::ConnectInd { conn_id, .. } => {
-                self.connect_ind_tx_done(now, *conn_id, &mut out)
+                self.connect_ind_tx_done(now, *conn_id, out)
             }
         }
-        out
     }
 
     // ------------------------------------------------------------------
@@ -759,11 +802,11 @@ impl LinkLayer {
     // ------------------------------------------------------------------
 
     fn gen_ok(&self, id: ConnId, gen: u64) -> bool {
-        self.conns.get(&id).map(|c| c.gen == gen).unwrap_or(false)
+        find_conn(&self.conns, id).map(|c| c.gen == gen).unwrap_or(false)
     }
 
     fn xgen_ok(&self, id: ConnId, gen: u64) -> bool {
-        self.conns.get(&id).map(|c| c.xgen == gen).unwrap_or(false)
+        find_conn(&self.conns, id).map(|c| c.xgen == gen).unwrap_or(false)
     }
 
     // ------------------------------------------------------------------
@@ -775,7 +818,7 @@ impl LinkLayer {
     fn prep_event(&mut self, now: Instant, id: ConnId, out: &mut Vec<Output>) {
         let clock = self.clock;
         let cfg = self.cfg;
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         debug_assert_eq!(conn.state, CeState::Idle);
@@ -835,7 +878,7 @@ impl LinkLayer {
                 }
                 match booked {
                     Ok(res) => {
-                        let conn = self.conns.get_mut(&id).expect("present");
+                        let conn = find_conn_mut(&mut self.conns, id).expect("present");
                         conn.reservation = Some(res);
                         out.push(arm_out(anchor, TimerKind::EventStart(id), gen));
                     }
@@ -860,7 +903,7 @@ impl LinkLayer {
                 }
                 match booked {
                     Ok(res) => {
-                        let conn = self.conns.get_mut(&id).expect("present");
+                        let conn = find_conn_mut(&mut self.conns, id).expect("present");
                         conn.reservation = Some(res);
                         conn.window_end = end;
                         out.push(arm_out(start.max(now), TimerKind::ListenStart(id), gen));
@@ -872,7 +915,7 @@ impl LinkLayer {
                             .try_book(conflict.busy_until, end, ResKind::Listen(id))
                         {
                             Ok(res) => {
-                                let conn = self.conns.get_mut(&id).expect("present");
+                                let conn = find_conn_mut(&mut self.conns, id).expect("present");
                                 conn.reservation = Some(res);
                                 conn.window_end = end;
                                 conn.stats.partial_listens += 1;
@@ -935,7 +978,7 @@ impl LinkLayer {
     /// lead time, which preserves anchor-order fairness).
     fn skip_event(&mut self, now: Instant, id: ConnId, out: &mut Vec<Output>) {
         let clock = self.clock;
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         let anchor = conn.next_anchor;
@@ -953,7 +996,7 @@ impl LinkLayer {
     /// Coordinator: anchor reached — transmit the event's first PDU.
     fn coord_event_start(&mut self, _now: Instant, id: ConnId, out: &mut Vec<Output>) {
         let clock = self.clock;
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         debug_assert_eq!(conn.role, Role::Coordinator);
@@ -967,7 +1010,7 @@ impl LinkLayer {
         conn.event_limit = conn.next_anchor + clock.to_global(conn.params.interval) - IFS;
         conn.state = CeState::CoordTx;
         conn.stats.events += 1;
-        let pdu = conn.next_pdu();
+        let pdu = conn.next_pdu(&mut self.bufs);
         let aa_val = conn.access_address;
         self.counters.coord_events += 1;
         self.counters.tx_ns += data_air(self.cfg.phy, pdu.payload.len()).nanos();
@@ -985,7 +1028,7 @@ impl LinkLayer {
     /// Subordinate: listen window opens.
     fn sub_listen_start(&mut self, now: Instant, id: ConnId, out: &mut Vec<Output>) {
         let clock = self.clock;
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         debug_assert_eq!(conn.role, Role::Subordinate);
@@ -1010,7 +1053,7 @@ impl LinkLayer {
     /// Subordinate: listen window closed. Either the event ended (we
     /// synced and the dialogue is over) or we missed it.
     fn sub_listen_end(&mut self, now: Instant, id: ConnId, out: &mut Vec<Output>) {
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         if conn.state != CeState::SubListening {
@@ -1033,7 +1076,7 @@ impl LinkLayer {
     /// Coordinator: no reply arrived. Per the paper (§5.2) the event is
     /// aborted; unacknowledged data waits a full interval.
     fn coord_reply_timeout(&mut self, now: Instant, id: ConnId, out: &mut Vec<Output>) {
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         if conn.state != CeState::CoordAwaitReply {
@@ -1057,7 +1100,7 @@ impl LinkLayer {
 
     /// Transmit the next exchange's PDU (either role).
     fn continue_event(&mut self, now: Instant, id: ConnId, out: &mut Vec<Output>) {
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         if conn.state != CeState::Gap {
@@ -1085,8 +1128,8 @@ impl LinkLayer {
             self.end_event(now, id, out);
             return;
         }
-        let conn = self.conns.get_mut(&id).expect("present");
-        let pdu = conn.next_pdu();
+        let conn = find_conn_mut(&mut self.conns, id).expect("present");
+        let pdu = conn.next_pdu(&mut self.bufs);
         let aa_val = conn.access_address;
         conn.state = match conn.role {
             Role::Coordinator => CeState::CoordTx,
@@ -1116,7 +1159,7 @@ impl LinkLayer {
     ) {
         let clock = self.clock;
         let cfg = self.cfg;
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         if conn.access_address != access_address || conn.event_channel != Some(channel) {
@@ -1154,13 +1197,14 @@ impl LinkLayer {
                 conn.peer_md = pdu.md;
                 conn.xgen += 1;
                 let xgen = conn.xgen;
-                let payload = conn.process_rx(pdu);
+                let payload = conn.process_rx(pdu, &mut self.bufs);
                 conn.event_had_data |= payload.is_some();
                 let has_space = conn.queue.len() < cfg.ll_queue_cap;
                 conn.state = CeState::Gap;
                 if let Some(p) = payload {
                     if pdu.llid == Llid::Control {
                         Self::accept_control(conn, &p, out);
+                        self.bufs.put(p);
                     } else {
                         out.push(Output::Rx {
                             conn: id,
@@ -1184,7 +1228,7 @@ impl LinkLayer {
                 let reply_len = pdu.payload.len();
                 conn.xgen += 1;
                 let xgen = conn.xgen;
-                let payload = conn.process_rx(pdu);
+                let payload = conn.process_rx(pdu, &mut self.bufs);
                 conn.event_had_data |= payload.is_some();
                 let has_space = conn.queue.len() < cfg.ll_queue_cap;
                 if let Some(ch) = conn.event_channel {
@@ -1195,6 +1239,7 @@ impl LinkLayer {
                 if let Some(p) = payload {
                     if pdu.llid == Llid::Control {
                         Self::accept_control(conn, &p, out);
+                        self.bufs.put(p);
                     } else {
                         out.push(Output::Rx {
                             conn: id,
@@ -1211,7 +1256,7 @@ impl LinkLayer {
                 // Decide whether to run another exchange (§2.2): more
                 // data on either side and room before the event limit
                 // and the next booked radio activity.
-                let conn = self.conns.get_mut(&id).expect("present");
+                let conn = find_conn_mut(&mut self.conns, id).expect("present");
                 let more = conn.has_tx_data() || conn.peer_md;
                 if more {
                     let head_len = conn
@@ -1246,7 +1291,7 @@ impl LinkLayer {
                             .unwrap_or(true),
                         None => true,
                     };
-                    let conn = self.conns.get_mut(&id).expect("present");
+                    let conn = find_conn_mut(&mut self.conns, id).expect("present");
                     if fits_own && fits_sched {
                         conn.stats.ext_ok += 1;
                         conn.state = CeState::Gap;
@@ -1269,7 +1314,7 @@ impl LinkLayer {
     /// A connection data PDU we were transmitting is done.
     fn conn_tx_done(&mut self, now: Instant, id: ConnId, out: &mut Vec<Output>) {
         let cfg = self.cfg;
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         let channel = conn.event_channel.expect("event in progress");
@@ -1335,7 +1380,7 @@ impl LinkLayer {
     fn end_event(&mut self, now: Instant, id: ConnId, out: &mut Vec<Output>) {
         let clock = self.clock;
         let cfg = self.cfg;
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         conn.state = CeState::Idle;
@@ -1358,7 +1403,7 @@ impl LinkLayer {
     /// if nothing was received since, the connection is dead.
     fn supervision_check(&mut self, now: Instant, id: ConnId, out: &mut Vec<Output>) {
         let clock = self.clock;
-        let Some(conn) = self.conns.get(&id) else {
+        let Some(conn) = find_conn(&self.conns, id) else {
             return;
         };
         // Before the first received packet, the shorter establishment
@@ -1377,8 +1422,7 @@ impl LinkLayer {
             } else {
                 LossReason::EstablishFailed
             };
-            let downs = self.teardown(id, now, reason);
-            out.extend(downs);
+            self.teardown(id, now, reason, out);
         } else {
             out.push(arm_out(conn.last_rx + timeout, TimerKind::Supervision(id), 0));
         }
@@ -1407,7 +1451,7 @@ impl LinkLayer {
     /// simple threshold policy in that spirit.
     fn maybe_afh(&mut self, id: ConnId, out: &mut Vec<Output>) {
         let cfg = self.cfg;
-        let Some(conn) = self.conns.get_mut(&id) else {
+        let Some(conn) = find_conn_mut(&mut self.conns, id) else {
             return;
         };
         if !cfg.afh_enabled || conn.role != Role::Coordinator || conn.pending_update.is_some() {
@@ -1455,9 +1499,8 @@ impl LinkLayer {
         let _ = self.request_channel_map(id, new_map);
     }
 
-    fn teardown(&mut self, id: ConnId, now: Instant, reason: LossReason) -> Vec<Output> {
-        let mut out = Vec::new();
-        if let Some(conn) = self.conns.remove(&id) {
+    fn teardown(&mut self, id: ConnId, now: Instant, reason: LossReason, out: &mut Vec<Output>) {
+        if let Some(conn) = take_conn(&mut self.conns, id) {
             self.sched.remove_conn(id);
             self.sched.purge_before(now);
             if matches!(conn.state, CeState::SubListening | CeState::CoordAwaitReply) {
@@ -1475,7 +1518,6 @@ impl LinkLayer {
                 reason,
             });
         }
-        out
     }
 
     // ------------------------------------------------------------------
@@ -1595,7 +1637,7 @@ impl LinkLayer {
         );
         conn.next_anchor = anchor_base;
         conn.sync_uncertainty = win_size;
-        self.conns.insert(conn_id, conn);
+        add_conn(&mut self.conns, conn);
         out.push(Output::ConnUp {
             conn: conn_id,
             peer: initiator,
@@ -1797,7 +1839,7 @@ impl LinkLayer {
             now,
         );
         conn.next_anchor = anchor;
-        self.conns.insert(pc.conn_id, conn);
+        add_conn(&mut self.conns, conn);
         // Remove the fulfilled target; stop or continue scanning.
         let mut rearm_scan = false;
         if let Some(scan) = self.scan.as_mut() {

@@ -149,20 +149,24 @@ impl RadioScheduler {
     /// connection-event extension: packets may be exchanged until the
     /// next *other* radio activity begins (paper §2.2, Fig. 4).
     pub fn next_start_after(&self, t: Instant, exclude: ResId) -> Option<Instant> {
-        self.items
+        // Items are sorted by start: the first entry past `t` that
+        // isn't ours has the minimal start.
+        let from = self.items.partition_point(|r| r.start <= t);
+        self.items[from..]
             .iter()
-            .filter(|r| r.id != exclude && r.start > t)
+            .find(|r| r.id != exclude)
             .map(|r| r.start)
-            .min()
     }
 
     /// `true` if `[start, end)` overlaps nothing (optionally ignoring
     /// one reservation).
     pub fn is_free(&self, start: Instant, end: Instant, exclude: Option<ResId>) -> bool {
+        // Sorted by start: nothing at or past `end` can overlap.
         !self
             .items
             .iter()
-            .any(|r| Some(r.id) != exclude && r.start < end && start < r.end)
+            .take_while(|r| r.start < end)
+            .any(|r| Some(r.id) != exclude && start < r.end)
     }
 
     /// Remove all advertising/scan reservations overlapping

@@ -83,9 +83,9 @@ impl MiniWorld {
         self.queue.now()
     }
 
-    pub fn apply(&mut self, node: NodeId, outputs: Vec<Output>) {
+    pub fn apply(&mut self, node: NodeId, outputs: &mut Vec<Output>) {
         let now = self.queue.now();
-        for o in outputs {
+        for o in outputs.drain(..) {
             match o {
                 Output::Arm { at, timer } => {
                     self.queue.schedule_at(at.max(now), Ev::Timer(node, timer));
@@ -165,8 +165,9 @@ impl MiniWorld {
         };
         match ev {
             Ev::Timer(node, timer) => {
-                let outs = self.lls[node.index()].on_timer(now, timer);
-                self.apply(node, outs);
+                let mut outs = Vec::new();
+                self.lls[node.index()].on_timer(now, timer, &mut outs);
+                self.apply(node, &mut outs);
             }
             Ev::TxEnd(id) => {
                 let idx = self
@@ -187,15 +188,15 @@ impl MiniWorld {
                     })
                     .collect();
                 let outcomes = self.medium.finish_tx(fl.tx, &listeners);
+                let mut outs = Vec::new();
                 for (listener, outcome) in outcomes {
                     if outcome.is_ok() {
-                        let outs =
-                            self.lls[listener.index()].on_frame_rx(now, &fl.frame, fl.channel);
-                        self.apply(listener, outs);
+                        self.lls[listener.index()].on_frame_rx(now, &fl.frame, fl.channel, &mut outs);
+                        self.apply(listener, &mut outs);
                     }
                 }
-                let outs = self.lls[fl.src.index()].on_tx_done(now, &fl.frame);
-                self.apply(fl.src, outs);
+                self.lls[fl.src.index()].on_tx_done(now, &fl.frame, &mut outs);
+                self.apply(fl.src, &mut outs);
             }
         }
         true
@@ -221,11 +222,11 @@ impl MiniWorld {
         params: ConnParams,
     ) {
         let now = self.queue.now();
-        let outs = self.lls[advertiser.index()].start_advertising(now);
-        self.apply(advertiser, outs);
-        let outs =
-            self.lls[coordinator.index()].start_scanning(now, advertiser, conn_id, params);
-        self.apply(coordinator, outs);
+        let mut outs = Vec::new();
+        self.lls[advertiser.index()].start_advertising(now, &mut outs);
+        self.apply(advertiser, &mut outs);
+        self.lls[coordinator.index()].start_scanning(now, advertiser, conn_id, params, &mut outs);
+        self.apply(coordinator, &mut outs);
     }
 
     /// Wait until both ends report the connection up (panics after

@@ -88,6 +88,7 @@ pub struct IeeeWorld {
     pub trace: Trace,
     app: AppConfig,
     started: bool,
+    events: u64,
 }
 
 impl IeeeWorld {
@@ -135,7 +136,14 @@ impl IeeeWorld {
             trace: Trace::control_plane(1 << 20),
             app,
             started: false,
+            events: 0,
         }
+    }
+
+    /// Kernel events processed (popped and dispatched) since
+    /// construction — the `kernelbench` throughput denominator.
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// Current simulation time.
@@ -191,6 +199,7 @@ impl IeeeWorld {
         let Some((now, ev)) = self.queue.pop() else {
             return;
         };
+        self.events += 1;
         match ev {
             Ev::MacTimer(node, timer) => {
                 let channel = self.channel;

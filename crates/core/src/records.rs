@@ -60,6 +60,70 @@ impl LinkStats {
     }
 }
 
+/// Per-link statistics, keyed by directed `(src, dst)`. Backed by a
+/// small insertion-ordered vector: a topology has a handful of links,
+/// `ll_attempt` runs once per data PDU (so the lookup sits on the
+/// kernel's hot path and must not hash), and iteration order is
+/// deterministic — first-traffic order — unlike a HashMap's.
+#[derive(Debug, Clone, Default)]
+pub struct LinkTable {
+    entries: Vec<((NodeId, NodeId), LinkStats)>,
+}
+
+impl LinkTable {
+    /// The stats slot of a link, created empty on first use.
+    pub fn entry_mut(&mut self, key: (NodeId, NodeId)) -> &mut LinkStats {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            return &mut self.entries[i].1;
+        }
+        self.entries.push((key, LinkStats::default()));
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+
+    /// Stats of a link, if it ever carried an attempt.
+    pub fn get(&self, key: &(NodeId, NodeId)) -> Option<&LinkStats> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, s)| s)
+    }
+
+    /// All per-link stats, in first-traffic order.
+    pub fn values(&self) -> impl Iterator<Item = &LinkStats> {
+        self.entries.iter().map(|(_, s)| s)
+    }
+
+    /// `((src, dst), stats)` pairs, in first-traffic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &LinkStats)> {
+        self.entries.iter().map(|(k, s)| (k, s))
+    }
+
+    /// Number of links that carried traffic.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no link carried traffic yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::ops::Index<&(NodeId, NodeId)> for LinkTable {
+    type Output = LinkStats;
+    fn index(&self, key: &(NodeId, NodeId)) -> &LinkStats {
+        self.get(key).expect("link has no recorded attempts")
+    }
+}
+
+impl<'a> IntoIterator for &'a LinkTable {
+    type Item = (&'a (NodeId, NodeId), &'a LinkStats);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, ((NodeId, NodeId), LinkStats)>,
+        fn(&'a ((NodeId, NodeId), LinkStats)) -> (&'a (NodeId, NodeId), &'a LinkStats),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, s)| (k, s))
+    }
+}
+
 /// All records of one run.
 pub struct Records {
     /// Width of a time bucket.
@@ -72,7 +136,7 @@ pub struct Records {
     /// All completed-exchange RTT samples.
     pub rtt: Vec<RttSample>,
     /// Link-layer delivery per directed link.
-    pub links: HashMap<(NodeId, NodeId), LinkStats>,
+    pub links: LinkTable,
     /// Connection losses: (time, node observing, peer).
     pub conn_losses: Vec<(Instant, NodeId, NodeId)>,
     /// Drop counters by reason tag.
@@ -88,7 +152,7 @@ impl Records {
             coap_sent: HashMap::new(),
             coap_done: HashMap::new(),
             rtt: Vec::new(),
-            links: HashMap::new(),
+            links: LinkTable::default(),
             conn_losses: Vec::new(),
             drops: HashMap::new(),
         }
@@ -121,7 +185,7 @@ impl Records {
     /// A link-layer data PDU attempt on `src → dst` over `channel`.
     pub fn ll_attempt(&mut self, src: NodeId, dst: NodeId, at: Instant, channel: u8, ok: bool) {
         let idx = self.bucket_idx(at);
-        let stats = self.links.entry((src, dst)).or_default();
+        let stats = self.links.entry_mut((src, dst));
         if stats.buckets.len() <= idx {
             stats.buckets.resize(idx + 1, (0, 0));
         }

@@ -18,8 +18,6 @@
 //! and the absence of a live connection while statconn reconnects
 //! (§5.1).
 
-use std::collections::HashMap;
-
 use mindgap_ble::{
     ConnId, Frame, LinkLayer, ListenTag, LlConfig, LossReason, Output, Role, Timer,
 };
@@ -27,7 +25,10 @@ use mindgap_coap::{Client, Code, Message, MsgType, Server};
 use mindgap_l2cap::frame::{self as l2frame, Signal, CID_LE_SIGNALING};
 use mindgap_l2cap::{BufPool, CocChannel, CocConfig, NIMBLE_BUF_BYTES};
 use mindgap_net::{Ipv6Addr, Ipv6Stack, NetConfig, StackEvent};
-use mindgap_phy::{Channel, LossConfig, Medium, MediumConfig, TxId, TxParams, BLE_JAMMED_CHANNEL};
+use mindgap_phy::{
+    Channel, LossConfig, Medium, MediumConfig, RxOutcome, TxId, TxParams, BLE_JAMMED_CHANNEL,
+    CHANNEL_TABLE_SIZE,
+};
 use mindgap_sim::{Clock, Duration, EventQueue, Instant, NodeId, Rng, Trace, TraceKind};
 use mindgap_sixlowpan::{iphc, LinkContext, LlAddr};
 
@@ -133,14 +134,14 @@ impl WorldConfig {
 /// Events in the world's queue.
 enum Ev {
     LlTimer(NodeId, Timer),
-    TxEnd(u64),
+    /// Carries the in-flight slab slot of the finished transmission.
+    TxEnd(usize),
     AppSend(NodeId),
     CoapSweep,
     RplTick(NodeId),
 }
 
 struct InFlight {
-    id: u64,
     tx: TxId,
     src: NodeId,
     frame: Frame,
@@ -158,12 +159,33 @@ struct BleNode {
     ll: LinkLayer,
     stack: Ipv6Stack,
     statconn: Statconn,
-    cocs: HashMap<ConnId, CocState>,
+    /// Live L2CAP channels, in connection-creation order. A node has
+    /// a handful at most, so a linear scan beats hashing on the data
+    /// path (and iteration order is deterministic, unlike a HashMap).
+    cocs: Vec<(ConnId, CocState)>,
     pool: BufPool,
     client: Client,
     server: Server,
     rpl: Option<RplAgent>,
     rng: Rng,
+}
+
+impl BleNode {
+    fn coc(&self, conn: ConnId) -> Option<&CocState> {
+        self.cocs.iter().find(|(c, _)| *c == conn).map(|(_, s)| s)
+    }
+
+    fn coc_mut(&mut self, conn: ConnId) -> Option<&mut CocState> {
+        self.cocs
+            .iter_mut()
+            .find(|(c, _)| *c == conn)
+            .map(|(_, s)| s)
+    }
+
+    fn coc_remove(&mut self, conn: ConnId) -> Option<CocState> {
+        let i = self.cocs.iter().position(|(c, _)| *c == conn)?;
+        Some(self.cocs.remove(i).1)
+    }
 }
 
 /// The BLE testbed world.
@@ -172,14 +194,28 @@ pub struct World {
     medium: Medium,
     nodes: Vec<BleNode>,
     listening: Vec<Option<(ListenTag, Channel, Instant, Instant)>>,
-    inflight: Vec<InFlight>,
-    next_tx: u64,
+    /// Node indices currently registered as listening, per channel
+    /// (sorted ascending — the medium's RNG draw order is per-listener
+    /// in order, so this ordering is part of the determinism contract).
+    listeners_by_channel: Vec<Vec<u16>>,
+    /// Slab of in-flight transmissions; `Ev::TxEnd` carries the slot.
+    inflight: Vec<Option<InFlight>>,
+    /// Recycled `inflight` slots.
+    free_tx: Vec<usize>,
+    /// Free list of `Output` scratch buffers for the LL hot path
+    /// (re-entrant `apply_ll` calls each take their own).
+    out_scratch: Vec<Vec<Output>>,
+    /// Reusable buffers for `tx_end` (listener candidates, verdicts).
+    cand_scratch: Vec<NodeId>,
+    outcome_scratch: Vec<(NodeId, RxOutcome)>,
     next_conn: u64,
-    /// Both endpoints of every connection ever initiated.
-    conn_ends: HashMap<ConnId, (NodeId, NodeId)>,
+    /// Both endpoints of every connection ever initiated, indexed by
+    /// the (dense, counter-assigned) connection id.
+    conn_ends: Vec<Option<(NodeId, NodeId)>>,
     /// Connections killed by a statconn collision-close before both
-    /// ends finished setting up (§6.3 rejection race).
-    doomed: std::collections::HashSet<ConnId>,
+    /// ends finished setting up (§6.3 rejection race), indexed like
+    /// `conn_ends`.
+    doomed: Vec<bool>,
     /// LL maximum payload (mirrors the LlConfig).
     max_pdu: usize,
     records: Records,
@@ -189,6 +225,7 @@ pub struct World {
     /// Echo replies observed (for examples/tests): (node, from, seq).
     pub echo_replies: Vec<(NodeId, Ipv6Addr, u16)>,
     started: bool,
+    events: u64,
 }
 
 impl World {
@@ -235,7 +272,7 @@ impl World {
                         cfg.conn_channel_map,
                         rng.fork(2000 + i as u64),
                     ),
-                    cocs: HashMap::new(),
+                    cocs: Vec::new(),
                     pool: BufPool::new(NIMBLE_BUF_BYTES),
                     client: Client::new(i as u16),
                     server: Server::new(0x8000 | i as u16),
@@ -249,23 +286,34 @@ impl World {
             medium,
             nodes,
             listening: vec![None; n],
+            listeners_by_channel: vec![Vec::new(); CHANNEL_TABLE_SIZE],
             inflight: Vec::new(),
-            next_tx: 0,
+            free_tx: Vec::new(),
+            out_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            outcome_scratch: Vec::new(),
             next_conn: 1,
-            conn_ends: HashMap::new(),
-            doomed: std::collections::HashSet::new(),
+            conn_ends: Vec::new(),
+            doomed: Vec::new(),
             max_pdu: cfg.ll.max_pdu,
             records: Records::new(cfg.record_bucket),
             trace: Trace::control_plane(1 << 20),
             app,
             echo_replies: Vec::new(),
             started: false,
+            events: 0,
         }
     }
 
     /// Current simulation time.
     pub fn now(&self) -> Instant {
         self.queue.now()
+    }
+
+    /// Kernel events processed (popped and dispatched) since
+    /// construction — the `kernelbench` throughput denominator.
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// Measurement records.
@@ -299,11 +347,37 @@ impl World {
             .unwrap_or(0)
     }
 
+    /// Endpoints of a connection. Conn ids are assigned by a dense
+    /// counter, so `conn_ends` is a plain slot vector.
+    fn conn_end_of(&self, conn: ConnId) -> Option<(NodeId, NodeId)> {
+        self.conn_ends.get(conn.0 as usize).copied().flatten()
+    }
+
+    fn set_conn_ends(&mut self, conn: ConnId, a: NodeId, b: NodeId) {
+        let i = conn.0 as usize;
+        if i >= self.conn_ends.len() {
+            self.conn_ends.resize(i + 1, None);
+        }
+        self.conn_ends[i] = Some((a, b));
+    }
+
+    fn is_doomed(&self, conn: ConnId) -> bool {
+        self.doomed.get(conn.0 as usize).copied().unwrap_or(false)
+    }
+
+    fn set_doomed(&mut self, conn: ConnId) {
+        let i = conn.0 as usize;
+        if i >= self.doomed.len() {
+            self.doomed.resize(i + 1, false);
+        }
+        self.doomed[i] = true;
+    }
+
     /// Debug probe: (tx credits, CoC queued bytes, pool used, LL queue
     /// space) of one connection.
     pub fn coc_debug(&self, node: NodeId, conn: ConnId) -> Option<(u32, usize, usize, usize)> {
         let n = &self.nodes[node.index()];
-        let c = n.cocs.get(&conn)?;
+        let c = n.coc(conn)?;
         Some((
             c.chan.tx_credits(),
             c.chan.queued_bytes(),
@@ -493,12 +567,15 @@ impl World {
         let Some((now, ev)) = self.queue.pop() else {
             return;
         };
+        self.events += 1;
         match ev {
             Ev::LlTimer(node, timer) => {
-                let outs = self.nodes[node.index()].ll.on_timer(now, timer);
-                self.apply_ll(node, outs);
+                let mut outs = self.take_out();
+                self.nodes[node.index()].ll.on_timer(now, timer, &mut outs);
+                self.apply_ll(node, &mut outs);
+                self.put_out(outs);
             }
-            Ev::TxEnd(id) => self.tx_end(now, id),
+            Ev::TxEnd(slot) => self.tx_end(now, slot),
             Ev::AppSend(node) => self.producer_send(now, node),
             Ev::CoapSweep => {
                 let timeout = self.app.coap_timeout.nanos();
@@ -521,14 +598,10 @@ impl World {
             agent.on_tick(now, stack.routing_mut())
         };
         self.rpl_transmit(node, sends);
-        let tick = self.nodes[node.index()]
-            .rpl
-            .as_ref()
-            .map(|_| Duration::from_secs(5))
-            .unwrap_or(Duration::from_secs(5));
+        // Fixed 5 s trickle base with up to 0.5 s of per-tick jitter.
         let jitter = self.nodes[node.index()].rng.below(500_000_000);
         self.queue.schedule_in(
-            tick + Duration::from_nanos(jitter),
+            Duration::from_secs(5) + Duration::from_nanos(jitter),
             Ev::RplTick(node),
         );
     }
@@ -555,28 +628,28 @@ impl World {
         self.rpl_transmit(node, sends);
     }
 
-    fn tx_end(&mut self, now: Instant, id: u64) {
-        let idx = self
-            .inflight
-            .iter()
-            .position(|f| f.id == id)
-            .expect("tx tracked");
-        let fl = self.inflight.swap_remove(idx);
-        let listeners: Vec<NodeId> = self
-            .listening
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| {
-                let (_, ch, since, until) = (*l)?;
-                (ch == fl.channel && since <= fl.start && until >= now)
-                    .then_some(NodeId(i as u16))
-            })
-            .collect();
-        let outcomes = self.medium.finish_tx(fl.tx, &listeners);
+    fn tx_end(&mut self, now: Instant, slot: usize) {
+        let fl = self.inflight[slot].take().expect("tx tracked");
+        self.free_tx.push(slot);
+        // Candidate listeners come from the per-channel index (kept
+        // node-ascending) filtered by their listen window; the medium
+        // then draws per-listener verdicts in that order.
+        let mut cand = std::mem::take(&mut self.cand_scratch);
+        for &ni in &self.listeners_by_channel[fl.channel.table_index()] {
+            if let Some((_, ch, since, until)) = self.listening[ni as usize] {
+                if ch == fl.channel && since <= fl.start && until >= now {
+                    cand.push(NodeId(ni));
+                }
+            }
+        }
+        let mut outcomes = std::mem::take(&mut self.outcome_scratch);
+        self.medium.finish_tx_into(fl.tx, &cand, &mut outcomes);
+        cand.clear();
+        self.cand_scratch = cand;
         // Link-layer delivery accounting for data PDUs.
         if let Frame::Data { conn, pdu, .. } = &fl.frame {
             if !pdu.payload.is_empty() {
-                if let Some(&(a, b)) = self.conn_ends.get(conn) {
+                if let Some((a, b)) = self.conn_end_of(*conn) {
                     let dst = if a == fl.src { b } else { a };
                     let ok = outcomes
                         .iter()
@@ -586,24 +659,72 @@ impl World {
                 }
             }
         }
-        for (listener, outcome) in outcomes {
+        for &(listener, outcome) in &outcomes {
             if outcome.is_ok() {
-                let outs =
-                    self.nodes[listener.index()].ll.on_frame_rx(now, &fl.frame, fl.channel);
-                self.apply_ll(listener, outs);
+                let mut outs = self.take_out();
+                self.nodes[listener.index()]
+                    .ll
+                    .on_frame_rx(now, &fl.frame, fl.channel, &mut outs);
+                self.apply_ll(listener, &mut outs);
+                self.put_out(outs);
             }
         }
-        let outs = self.nodes[fl.src.index()].ll.on_tx_done(now, &fl.frame);
-        self.apply_ll(fl.src, outs);
+        outcomes.clear();
+        self.outcome_scratch = outcomes;
+        let mut outs = self.take_out();
+        self.nodes[fl.src.index()]
+            .ll
+            .on_tx_done(now, &fl.frame, &mut outs);
+        self.apply_ll(fl.src, &mut outs);
+        self.put_out(outs);
+        // The on-air payload copy came from the sender's LL buffer
+        // pool (see `Connection::next_pdu`); give it back.
+        if let Frame::Data { pdu, .. } = fl.frame {
+            if !pdu.payload.is_empty() {
+                self.nodes[fl.src.index()].ll.recycle(pdu.payload);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
     // Link-layer output handling
     // ------------------------------------------------------------------
 
-    fn apply_ll(&mut self, node: NodeId, outputs: Vec<Output>) {
+    /// Grab a scratch `Output` buffer from the free list. Re-entrant
+    /// `apply_ll` chains (conn-up → statconn → close → …) each hold
+    /// their own buffer, so the list may grow a few entries deep.
+    fn take_out(&mut self) -> Vec<Output> {
+        self.out_scratch.pop().unwrap_or_default()
+    }
+
+    /// Return a scratch buffer (cleared) to the free list.
+    fn put_out(&mut self, mut v: Vec<Output>) {
+        v.clear();
+        if self.out_scratch.len() < 16 {
+            self.out_scratch.push(v);
+        }
+    }
+
+    /// Register `node` under `channel` in the listener index, keeping
+    /// each channel's list sorted by node index.
+    fn index_listen_on(&mut self, node: NodeId, channel: Channel) {
+        let list = &mut self.listeners_by_channel[channel.table_index()];
+        if let Err(pos) = list.binary_search(&node.0) {
+            list.insert(pos, node.0);
+        }
+    }
+
+    /// Drop `node` from `channel`'s listener list.
+    fn index_listen_off(&mut self, node: NodeId, channel: Channel) {
+        let list = &mut self.listeners_by_channel[channel.table_index()];
+        if let Ok(pos) = list.binary_search(&node.0) {
+            list.remove(pos);
+        }
+    }
+
+    fn apply_ll(&mut self, node: NodeId, outputs: &mut Vec<Output>) {
         let now = self.queue.now();
-        for o in outputs {
+        for o in outputs.drain(..) {
             match o {
                 Output::Arm { at, timer } => {
                     self.queue
@@ -617,24 +738,40 @@ impl World {
                         start: now,
                         airtime,
                     });
-                    let id = self.next_tx;
-                    self.next_tx += 1;
-                    self.inflight.push(InFlight {
-                        id,
+                    let fl = InFlight {
                         tx,
                         src: node,
                         frame,
                         channel,
                         start: now,
-                    });
-                    self.queue.schedule_at(now + airtime, Ev::TxEnd(id));
+                    };
+                    let slot = match self.free_tx.pop() {
+                        Some(s) => {
+                            self.inflight[s] = Some(fl);
+                            s
+                        }
+                        None => {
+                            self.inflight.push(Some(fl));
+                            self.inflight.len() - 1
+                        }
+                    };
+                    self.queue.schedule_at(now + airtime, Ev::TxEnd(slot));
                 }
                 Output::Listen { channel, until, tag } => {
+                    if let Some((_, old_ch, _, _)) = self.listening[node.index()] {
+                        if old_ch != channel {
+                            self.index_listen_off(node, old_ch);
+                        }
+                    }
+                    self.index_listen_on(node, channel);
                     self.listening[node.index()] = Some((tag, channel, now, until));
                 }
                 Output::ListenOff { tag } => {
-                    if self.listening[node.index()].map(|(t, ..)| t) == Some(tag) {
-                        self.listening[node.index()] = None;
+                    if let Some((t, ch, _, _)) = self.listening[node.index()] {
+                        if t == tag {
+                            self.index_listen_off(node, ch);
+                            self.listening[node.index()] = None;
+                        }
                     }
                 }
                 Output::ConnUp { conn, peer, role } => {
@@ -660,9 +797,11 @@ impl World {
         let now = self.queue.now();
         // The peer's statconn already rejected this connection
         // (interval collision) before our end finished setting up.
-        if self.doomed.contains(&conn) {
-            let outs = self.nodes[node.index()].ll.close(conn, now);
-            self.apply_ll(node, outs);
+        if self.is_doomed(conn) {
+            let mut outs = self.take_out();
+            self.nodes[node.index()].ll.close(conn, now, &mut outs);
+            self.apply_ll(node, &mut outs);
+            self.put_out(outs);
             return;
         }
         self.trace
@@ -680,14 +819,14 @@ impl World {
             .iter()
             .any(|a| matches!(a, ScAction::Close { conn: c } if *c == conn));
         if !rejected {
-            self.nodes[node.index()].cocs.insert(
+            self.nodes[node.index()].cocs.push((
                 conn,
                 CocState {
                     chan: CocChannel::symmetric(CocConfig::default(), 0x40, 0x40),
                     peer,
                     pending_credits: 0,
                 },
-            );
+            ));
         }
         self.apply_sc_actions(node, actions);
     }
@@ -699,7 +838,7 @@ impl World {
         if reason == LossReason::SupervisionTimeout {
             self.records.conn_loss(now, node, peer);
         }
-        if let Some(coc) = self.nodes[node.index()].cocs.remove(&conn) {
+        if let Some(coc) = self.nodes[node.index()].coc_remove(conn) {
             // Release mbufs still queued for this channel.
             let queued = coc.chan.queued_pool_cost();
             if queued > 0 {
@@ -726,23 +865,26 @@ impl World {
         for a in actions {
             match a {
                 ScAction::Advertise => {
-                    let outs = self.nodes[node.index()].ll.start_advertising(now);
-                    self.apply_ll(node, outs);
+                    let mut outs = self.take_out();
+                    self.nodes[node.index()].ll.start_advertising(now, &mut outs);
+                    self.apply_ll(node, &mut outs);
+                    self.put_out(outs);
                 }
                 ScAction::Scan { peer, params } => {
                     let conn = ConnId(self.next_conn);
                     self.next_conn += 1;
-                    self.conn_ends.insert(conn, (node, peer));
-                    let outs =
-                        self.nodes[node.index()]
-                            .ll
-                            .start_scanning(now, peer, conn, params);
-                    self.apply_ll(node, outs);
+                    self.set_conn_ends(conn, node, peer);
+                    let mut outs = self.take_out();
+                    self.nodes[node.index()]
+                        .ll
+                        .start_scanning(now, peer, conn, params, &mut outs);
+                    self.apply_ll(node, &mut outs);
+                    self.put_out(outs);
                 }
                 ScAction::Close { conn } => {
                     self.trace
                         .emit(now, node, TraceKind::ConnMgr, "collision_close", conn.0);
-                    self.doomed.insert(conn);
+                    self.set_doomed(conn);
                     self.close_both(conn);
                 }
             }
@@ -753,12 +895,14 @@ impl World {
     /// exchange; see `mindgap-ble` docs).
     fn close_both(&mut self, conn: ConnId) {
         let now = self.queue.now();
-        let Some(&(a, b)) = self.conn_ends.get(&conn) else {
+        let Some((a, b)) = self.conn_end_of(conn) else {
             return;
         };
         for node in [a, b] {
-            let outs = self.nodes[node.index()].ll.close(conn, now);
-            self.apply_ll(node, outs);
+            let mut outs = self.take_out();
+            self.nodes[node.index()].ll.close(conn, now, &mut outs);
+            self.apply_ll(node, &mut outs);
+            self.put_out(outs);
         }
     }
 
@@ -772,12 +916,23 @@ impl World {
         let max_pdu = self.max_pdu;
         loop {
             let n = &mut self.nodes[node.index()];
-            if n.ll.queue_space(conn) == 0 {
-                return;
-            }
-            let Some(coc) = n.cocs.get_mut(&conn) else {
+            let BleNode { ll, cocs, pool, .. } = n;
+            let Some(coc) = cocs
+                .iter_mut()
+                .find(|(c, _)| *c == conn)
+                .map(|(_, s)| s)
+            else {
                 return;
             };
+            // Fast exit for the common case: every received PDU and
+            // every ended event reports TxSpace, but most of the time
+            // there is nothing to move.
+            if coc.pending_credits == 0 && !coc.chan.has_pending() {
+                return;
+            }
+            if ll.queue_space(conn) == 0 {
+                return;
+            }
             // Credits first: flow control must not starve behind data.
             if coc.pending_credits > 0 {
                 let sig = Signal::Credit {
@@ -786,16 +941,15 @@ impl World {
                     credits: coc.pending_credits,
                 };
                 let pdu = l2frame::encode_basic(CID_LE_SIGNALING, &sig.encode());
-                if n.ll.enqueue(conn, pdu).is_ok() {
+                if ll.enqueue(conn, pdu).is_ok() {
                     coc.pending_credits = 0;
                     continue;
                 }
                 return;
             }
-            match coc.chan.next_pdu(max_pdu, &mut n.pool) {
+            match coc.chan.next_pdu(max_pdu, pool, ll.buffers()) {
                 Some(pdu) => {
-                    n.ll
-                        .enqueue(conn, pdu)
+                    ll.enqueue(conn, pdu)
                         .expect("space checked before pull");
                 }
                 None => return,
@@ -804,18 +958,33 @@ impl World {
     }
 
     /// An LL payload (one L2CAP PDU) arrived on `conn`.
+    ///
+    /// `payload` came out of this node's LL buffer pool (see
+    /// `Connection::process_rx`); it goes back once decoded, as does
+    /// the pooled `body` copy.
     fn ll_rx(&mut self, node: NodeId, conn: ConnId, payload: Vec<u8>) {
-        let decoded = match l2frame::decode_basic(&payload) {
-            Ok(p) => (p.cid, p.payload.to_vec()),
-            Err(_) => {
-                self.records.drop("l2cap_malformed");
-                return;
+        let (cid, body) = {
+            let n = &mut self.nodes[node.index()];
+            match l2frame::decode_basic(&payload) {
+                Ok(p) => {
+                    let cid = p.cid;
+                    let body = n.ll.buffers().take_copy(p.payload);
+                    n.ll.recycle(payload);
+                    (cid, body)
+                }
+                Err(_) => {
+                    n.ll.recycle(payload);
+                    self.records.drop("l2cap_malformed");
+                    return;
+                }
             }
         };
-        let (cid, body) = decoded;
         if cid == CID_LE_SIGNALING {
-            if let Ok(Signal::Credit { credits, .. }) = Signal::decode(&body) {
-                if let Some(coc) = self.nodes[node.index()].cocs.get_mut(&conn) {
+            let sig = Signal::decode(&body);
+            let n = &mut self.nodes[node.index()];
+            n.ll.recycle(body);
+            if let Ok(Signal::Credit { credits, .. }) = sig {
+                if let Some(coc) = n.coc_mut(conn) {
                     coc.chan.grant(credits);
                 }
                 self.pump(node, conn);
@@ -823,22 +992,31 @@ impl World {
             return;
         }
         let (sdu, peer) = {
-            let n = &mut self.nodes[node.index()];
-            let Some(coc) = n.cocs.get_mut(&conn) else {
+            let BleNode { ll, cocs, .. } = &mut self.nodes[node.index()];
+            let Some(coc) = cocs
+                .iter_mut()
+                .find(|(c, _)| *c == conn)
+                .map(|(_, s)| s)
+            else {
+                ll.recycle(body);
                 return;
             };
-            let sdu = match coc.chan.on_pdu(&body) {
-                Ok(s) => s,
+            match coc.chan.on_pdu(&body) {
+                Ok(sdu) => {
+                    let back = coc.chan.credits_to_return();
+                    if back > 0 {
+                        coc.pending_credits = coc.pending_credits.saturating_add(back);
+                    }
+                    let peer = coc.peer;
+                    ll.recycle(body);
+                    (sdu, peer)
+                }
                 Err(_) => {
+                    ll.recycle(body);
                     self.records.drop("l2cap_protocol");
                     return;
                 }
-            };
-            let back = coc.chan.credits_to_return();
-            if back > 0 {
-                coc.pending_credits = coc.pending_credits.saturating_add(back);
             }
-            (sdu, coc.peer)
         };
         self.pump(node, conn); // flush credits (and any queued data)
         if let Some(sdu) = sdu {
@@ -956,7 +1134,7 @@ impl World {
             self.records.drop("link_down");
             return;
         };
-        if !self.nodes[node.index()].cocs.contains_key(&conn) {
+        if self.nodes[node.index()].coc(conn).is_none() {
             self.records.drop("link_down");
             return;
         }
@@ -970,11 +1148,16 @@ impl World {
         };
         let frame = iphc::encode_frame(packet, &ctx);
         let n = &mut self.nodes[node.index()];
-        let Some(coc) = n.cocs.get_mut(&conn) else {
+        let BleNode { cocs, pool, .. } = n;
+        let Some(coc) = cocs
+            .iter_mut()
+            .find(|(c, _)| *c == conn)
+            .map(|(_, s)| s)
+        else {
             self.records.drop("link_down");
             return;
         };
-        match coc.chan.send_sdu(frame, &mut n.pool) {
+        match coc.chan.send_sdu(frame, pool) {
             Ok(()) => self.pump(node, conn),
             Err(_) => {
                 // The paper's §5.2 loss mechanism: mbuf pool exhausted.

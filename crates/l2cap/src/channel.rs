@@ -13,6 +13,8 @@
 
 use std::collections::VecDeque;
 
+use mindgap_sim::BytePool;
+
 use crate::frame::{self, SDU_LEN_FIELD};
 use crate::pool::BufPool;
 
@@ -191,7 +193,16 @@ impl CocChannel {
     /// payload limit); the K-frame payload is capped at
     /// `min(peer MPS, max_pdu − 4)`. Pool bytes are released as SDU
     /// bytes leave the queue.
-    pub fn next_pdu(&mut self, max_pdu: usize, pool: &mut BufPool) -> Option<Vec<u8>> {
+    ///
+    /// The returned PDU buffer is drawn from `bufs` and encoded in
+    /// place (basic header first, length patched at the end), so
+    /// segmentation allocates nothing in steady state.
+    pub fn next_pdu(
+        &mut self,
+        max_pdu: usize,
+        pool: &mut BufPool,
+        bufs: &mut BytePool,
+    ) -> Option<Vec<u8>> {
         if self.tx_credits == 0 {
             return None;
         }
@@ -200,17 +211,19 @@ impl CocChannel {
         if budget == 0 {
             return None;
         }
-        let mut payload = Vec::with_capacity(budget);
+        if !head.started && budget < SDU_LEN_FIELD {
+            return None;
+        }
+        let mut pdu = bufs.take();
+        pdu.extend_from_slice(&[0, 0]); // length, patched below
+        pdu.extend_from_slice(&self.peer_cid.to_le_bytes());
         if !head.started {
-            if budget < SDU_LEN_FIELD {
-                return None;
-            }
-            payload.extend_from_slice(&(head.data.len() as u16).to_le_bytes());
+            pdu.extend_from_slice(&(head.data.len() as u16).to_le_bytes());
             head.started = true;
         }
-        let room = budget - payload.len();
+        let room = budget - (pdu.len() - frame::BASIC_HEADER_LEN);
         let take = room.min(head.data.len() - head.offset);
-        payload.extend_from_slice(&head.data[head.offset..head.offset + take]);
+        pdu.extend_from_slice(&head.data[head.offset..head.offset + take]);
         head.offset += take;
         let done = head.offset == head.data.len();
         if done {
@@ -220,7 +233,9 @@ impl CocChannel {
         }
         self.tx_credits -= 1;
         self.pdus_sent += 1;
-        Some(frame::encode_basic(self.peer_cid, &payload))
+        let payload_len = (pdu.len() - frame::BASIC_HEADER_LEN) as u16;
+        pdu[..2].copy_from_slice(&payload_len.to_le_bytes());
+        Some(pdu)
     }
 
     /// Feed a received K-frame payload (basic header already stripped).
@@ -332,7 +347,8 @@ mod tests {
         max_pdu: usize,
     ) -> Vec<Vec<u8>> {
         let mut sdus = Vec::new();
-        while let Some(pdu) = tx.next_pdu(max_pdu, pool) {
+        let mut bufs = BytePool::new();
+        while let Some(pdu) = tx.next_pdu(max_pdu, pool, &mut bufs) {
             let dec = frame::decode_basic(&pdu).unwrap();
             assert_eq!(dec.cid, rx.local_cid());
             if let Some(sdu) = rx.on_pdu(dec.payload).unwrap() {
@@ -370,7 +386,7 @@ mod tests {
         let (mut a, mut b, mut pool) = pair();
         a.send_sdu(vec![1u8; 60], &mut pool).unwrap();
         // 27-byte legacy LL payload → 23 B K-frame payload.
-        let pdu = a.next_pdu(27, &mut pool).unwrap();
+        let pdu = a.next_pdu(27, &mut pool, &mut BytePool::new()).unwrap();
         assert_eq!(pdu.len(), 27);
         let dec = frame::decode_basic(&pdu).unwrap();
         assert!(b.on_pdu(dec.payload).unwrap().is_none(), "SDU incomplete");
@@ -390,9 +406,13 @@ mod tests {
         let mut pool = BufPool::new(10_000);
         // SDU needs 5 K-frames at MPS 247 → 1000 B + 2 B length.
         a.send_sdu(vec![9u8; 1200], &mut pool).unwrap();
-        let p1 = a.next_pdu(251, &mut pool).unwrap();
-        let p2 = a.next_pdu(251, &mut pool).unwrap();
-        assert!(a.next_pdu(251, &mut pool).is_none(), "out of credits");
+        let mut bufs = BytePool::new();
+        let p1 = a.next_pdu(251, &mut pool, &mut bufs).unwrap();
+        let p2 = a.next_pdu(251, &mut pool, &mut bufs).unwrap();
+        assert!(
+            a.next_pdu(251, &mut pool, &mut bufs).is_none(),
+            "out of credits"
+        );
         // Deliver both; receiver then grants a batch back.
         for p in [p1, p2] {
             let dec = frame::decode_basic(&p).unwrap();
@@ -401,7 +421,7 @@ mod tests {
         let back = b.credits_to_return();
         assert_eq!(back, 2);
         a.grant(back);
-        assert!(a.next_pdu(251, &mut pool).is_some());
+        assert!(a.next_pdu(251, &mut pool, &mut bufs).is_some());
     }
 
     #[test]

@@ -173,16 +173,27 @@ impl Medium {
     /// Panics if `id` is unknown (i.e. already finished) — finishing a
     /// frame twice is a protocol-layer bug worth failing loudly on.
     pub fn finish_tx(&mut self, id: TxId, listeners: &[NodeId]) -> Vec<(NodeId, RxOutcome)> {
+        let mut out = Vec::with_capacity(listeners.len());
+        self.finish_tx_into(id, listeners, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Medium::finish_tx`]: verdicts are
+    /// appended to `out` (one per listener, in listener order — the RNG
+    /// draw order is part of the determinism contract).
+    pub fn finish_tx_into(
+        &mut self,
+        id: TxId,
+        listeners: &[NodeId],
+        out: &mut Vec<(NodeId, RxOutcome)>,
+    ) {
         let idx = self
             .active
             .iter()
             .position(|t| t.id == id.0)
             .expect("finish_tx: unknown or already finished transmission");
         let tx = self.active.swap_remove(idx);
-        listeners
-            .iter()
-            .map(|&l| (l, self.verdict(&tx, l)))
-            .collect()
+        out.extend(listeners.iter().map(|&l| (l, self.verdict(&tx, l))));
     }
 
     fn verdict(&mut self, tx: &ActiveTx, listener: NodeId) -> RxOutcome {

@@ -28,11 +28,22 @@ use crate::{Duration, Instant};
 pub struct Clock {
     /// Frequency error in parts per million. `0.0` is an ideal clock.
     ppm: f64,
+    /// Precomputed `1 / (1 + ppm·1e-6)` — the local→global scale.
+    /// Cached at construction so the per-event conversion is a single
+    /// multiply (the division would otherwise sit on the kernel's
+    /// hottest path).
+    scale_global: f64,
+    /// Precomputed `1 + ppm·1e-6` — the global→local scale.
+    scale_local: f64,
 }
 
 impl Clock {
     /// An ideal, drift-free clock.
-    pub const IDEAL: Clock = Clock { ppm: 0.0 };
+    pub const IDEAL: Clock = Clock {
+        ppm: 0.0,
+        scale_global: 1.0,
+        scale_local: 1.0,
+    };
 
     /// Create a clock with the given frequency error in ppm.
     ///
@@ -43,7 +54,11 @@ impl Clock {
             ppm.is_finite() && ppm.abs() < 10_000.0,
             "unreasonable clock drift: {ppm} ppm"
         );
-        Clock { ppm }
+        Clock {
+            ppm,
+            scale_global: 1.0 / (1.0 + ppm * 1e-6),
+            scale_local: 1.0 + ppm * 1e-6,
+        }
     }
 
     /// The clock's frequency error in ppm.
@@ -66,15 +81,13 @@ impl Clock {
     /// time, so the global span is slightly shorter.
     #[inline]
     pub fn to_global(&self, local: Duration) -> Duration {
-        let scale = 1.0 / (1.0 + self.ppm * 1e-6);
-        Duration::from_nanos((local.nanos() as f64 * scale).round() as u64)
+        Duration::from_nanos((local.nanos() as f64 * self.scale_global).round() as u64)
     }
 
     /// Convert a global span into this clock's local time domain.
     #[inline]
     pub fn to_local(&self, global: Duration) -> Duration {
-        let scale = 1.0 + self.ppm * 1e-6;
-        Duration::from_nanos((global.nanos() as f64 * scale).round() as u64)
+        Duration::from_nanos((global.nanos() as f64 * self.scale_local).round() as u64)
     }
 
     /// Global instant at which a timer of `local` span set at global

@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod pool;
 mod queue;
 mod rng;
 mod time;
 mod trace;
 
 pub use clock::Clock;
+pub use pool::BytePool;
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::Rng;
 pub use time::{Duration, Instant};

@@ -5,52 +5,75 @@
 //! scheduled for the same instant fire in insertion order. This
 //! stability is part of the kernel's determinism contract.
 //!
-//! Scheduled events can be cancelled by token. Cancellation is lazy:
-//! the entry stays in the heap and is skipped on pop, which keeps
-//! `cancel` O(1) — important because BLE connection teardown cancels
-//! many pending timers at once.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
+//! Scheduled events can be cancelled by token. Liveness is tracked
+//! with a generation-stamped slot table instead of a hash set: every
+//! entry carries a `(slot, gen)` pair, and an entry is live iff its
+//! generation still matches `slots[slot]`. Cancelling (and popping)
+//! bumps the slot's generation, so the liveness test on the hot pop
+//! path is a single array compare — no hashing, no probe — and
+//! `cancel` stays O(1) (amortized; it may pop already-dead heap heads
+//! to keep the head live, which restores `&self` peeks). Teardown
+//! storms that cancel many timers at once are bounded by periodic
+//! compaction: when dead entries outnumber live ones the heap is
+//! rebuilt without them.
 
 use crate::{Duration, Instant};
 
 /// Token identifying a scheduled event, used for cancellation.
+///
+/// Internally a `(slot, generation)` pair: the slot is reused after
+/// the event fires or is cancelled, the generation disambiguates the
+/// reuse. A stale token therefore never cancels a later event (a
+/// generation would have to wrap around `u32` on one slot between the
+/// token's creation and its use — billions of reschedules — for a
+/// false match).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ScheduledEvent(u64);
+pub struct ScheduledEvent {
+    slot: u32,
+    gen: u32,
+}
 
-struct Entry<E> {
-    at: Instant,
+/// A heap node: ordering key plus the slot holding the payload.
+/// Payloads live in the slot table, not the heap, so a sift moves 24
+/// bytes regardless of the event type's size.
+struct Entry {
+    /// Firing time in nanoseconds (primary key).
+    at: u64,
+    /// Tie-breaking sequence number — unique, so `(at, seq)` is a
+    /// *total* order: any correct min-heap pops the exact same
+    /// sequence, and the heap's internal layout is free to change
+    /// without touching determinism.
     seq: u64,
-    payload: E,
+    slot: u32,
+    gen: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl Entry {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.at, self.seq)
     }
 }
 
 /// Time-ordered, insertion-stable event queue.
+///
+/// The heap is a hand-rolled 4-ary min-heap: half the depth of a
+/// binary heap and four children per cache line's worth of entries,
+/// which measurably beats `std::collections::BinaryHeap` on the
+/// kernel's push/pop-dominated hot path.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    heap: Vec<Entry>,
+    /// `slots[s]` is the generation a live entry in slot `s` must
+    /// carry. Bumped when the slot's event fires or is cancelled.
+    slots: Vec<u32>,
+    /// `payloads[s]` holds the pending payload of a live entry in
+    /// slot `s` (`None` once fired/cancelled).
+    payloads: Vec<Option<E>>,
+    /// Slots whose event has fired or been cancelled, ready for reuse.
+    free_slots: Vec<u32>,
+    /// Dead entries still buried in the heap (cancelled, not yet
+    /// removed). Drives compaction.
+    stale: usize,
     next_seq: u64,
     now: Instant,
 }
@@ -65,8 +88,11 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            payloads: Vec::new(),
+            free_slots: Vec::new(),
+            stale: 0,
             next_seq: 0,
             now: Instant::ZERO,
         }
@@ -76,6 +102,20 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn now(&self) -> Instant {
         self.now
+    }
+
+    #[inline]
+    fn is_live(&self, entry: &Entry) -> bool {
+        self.slots[entry.slot as usize] == entry.gen
+    }
+
+    /// Retire a slot after its entry fired or was cancelled: bump the
+    /// generation (invalidating outstanding tokens) and recycle it.
+    #[inline]
+    fn retire_slot(&mut self, slot: u32) {
+        let s = slot as usize;
+        self.slots[s] = self.slots[s].wrapping_add(1);
+        self.free_slots.push(slot);
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -88,8 +128,23 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
-        ScheduledEvent(seq)
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(0);
+                self.payloads.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let gen = self.slots[slot as usize];
+        self.payloads[slot as usize] = Some(payload);
+        self.heap_push(Entry {
+            at: at.nanos(),
+            seq,
+            slot,
+            gen,
+        });
+        ScheduledEvent { slot, gen }
     }
 
     /// Schedule `payload` after global span `delay`.
@@ -100,44 +155,146 @@ impl<E> EventQueue<E> {
     /// Cancel a previously scheduled event. Cancelling an event that
     /// already fired (or was already cancelled) is a no-op.
     pub fn cancel(&mut self, token: ScheduledEvent) {
-        self.cancelled.insert(token.0);
+        if self.slots.get(token.slot as usize).copied() != Some(token.gen) {
+            return;
+        }
+        self.payloads[token.slot as usize] = None;
+        self.retire_slot(token.slot);
+        self.stale += 1;
+        // Keep the heap head live so `peek_time` stays `&self`.
+        self.purge_dead_head();
+        self.maybe_compact();
+    }
+
+    /// Pop dead entries off the heap head. Invariant maintained after
+    /// every mutation: if the heap is non-empty, its head is live.
+    fn purge_dead_head(&mut self) {
+        while let Some(head) = self.heap.first() {
+            if self.is_live(head) {
+                break;
+            }
+            self.heap_pop();
+            self.stale -= 1;
+        }
+    }
+
+    /// Rebuild the heap without dead entries once they dominate, so a
+    /// teardown storm does not leave the heap bloated for the rest of
+    /// a long run. O(live) via bulk heapify; amortized against the
+    /// cancels that created the dead entries.
+    fn maybe_compact(&mut self) {
+        if self.stale > 64 && self.stale * 2 > self.heap.len() {
+            let slots = &self.slots;
+            self.heap.retain(|e| slots[e.slot as usize] == e.gen);
+            self.heapify();
+            self.stale = 0;
+        }
     }
 
     /// Pop the next live event, advancing `now` to its timestamp.
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+        loop {
+            let entry = self.heap_pop()?;
+            if !self.is_live(&entry) {
+                self.stale -= 1;
                 continue;
             }
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
-            return Some((entry.at, entry.payload));
+            let payload = self.payloads[entry.slot as usize]
+                .take()
+                .expect("live entry has a payload");
+            self.retire_slot(entry.slot);
+            // Restore the live-head invariant for `&self` peeks.
+            self.purge_dead_head();
+            let at = Instant::from_nanos(entry.at);
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            return Some((at, payload));
         }
-        None
+    }
+
+    // ------------------------------------------------------------------
+    // 4-ary min-heap primitives (root at 0; children of i are
+    // 4i+1..=4i+4). Only `key` ordering matters, and keys are unique.
+    // ------------------------------------------------------------------
+
+    fn heap_push(&mut self, entry: Entry) {
+        self.heap.push(entry);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<Entry> {
+        let last = self.heap.len().checked_sub(1)?;
+        self.heap.swap(0, last);
+        let entry = self.heap.pop();
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        entry
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.heap[i].key() >= self.heap[parent].key() {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let first_child = 4 * i + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut min = first_child;
+            let last_child = (first_child + 3).min(len - 1);
+            for c in first_child + 1..=last_child {
+                if self.heap[c].key() < self.heap[min].key() {
+                    min = c;
+                }
+            }
+            if self.heap[min].key() >= self.heap[i].key() {
+                break;
+            }
+            self.heap.swap(i, min);
+            i = min;
+        }
+    }
+
+    /// Re-establish the heap property over the whole vector (Floyd's
+    /// bottom-up heapify, O(n)). Used after compaction.
+    fn heapify(&mut self) {
+        let len = self.heap.len();
+        if len < 2 {
+            return;
+        }
+        for i in (0..=(len - 2) / 4).rev() {
+            self.sift_down(i);
+        }
     }
 
     /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<Instant> {
-        loop {
-            let seq = self.heap.peek()?.seq;
-            if self.cancelled.contains(&seq) {
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(self.heap.peek().unwrap().at);
-        }
+    #[inline]
+    pub fn peek_time(&self) -> Option<Instant> {
+        // The head is live by invariant (see `purge_dead_head`).
+        self.heap.first().map(|e| Instant::from_nanos(e.at))
     }
 
-    /// Number of entries in the heap, *including* lazily cancelled ones.
+    /// Number of entries in the heap, *including* dead ones awaiting
+    /// removal or compaction.
     pub fn raw_len(&self) -> usize {
         self.heap.len()
     }
 
-    /// `true` if no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    /// `true` if no live events remain. The live-head invariant makes
+    /// this a plain emptiness check: a non-empty heap has a live head.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
     }
 }
 
@@ -213,5 +370,51 @@ mod tests {
         assert!(!q.is_empty());
         q.cancel(tok);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_token_never_cancels_slot_reuse() {
+        let mut q = EventQueue::new();
+        // Fire an event, keep its (now stale) token.
+        let stale = q.schedule_at(Instant::from_millis(1), "first");
+        assert!(q.pop().is_some());
+        // The freed slot is reused by the next schedule.
+        let _live = q.schedule_at(Instant::from_millis(2), "second");
+        q.cancel(stale); // must NOT kill "second"
+        assert_eq!(q.pop().map(|(_, e)| e), Some("second"));
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_at(Instant::from_millis(1), "dead");
+        q.schedule_at(Instant::from_millis(2), "alive");
+        q.cancel(tok);
+        q.cancel(tok); // second cancel must not retire the reused slot
+        let replacement = q.schedule_at(Instant::from_millis(3), "late");
+        let _ = replacement;
+        assert_eq!(q.pop().map(|(_, e)| e), Some("alive"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_liveness() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        let mut kill = Vec::new();
+        for i in 0..1000u64 {
+            let tok = q.schedule_at(Instant::from_millis(i), i);
+            if i % 2 == 0 {
+                kill.push(tok);
+            } else {
+                keep.push(i);
+            }
+        }
+        for tok in kill {
+            q.cancel(tok); // triggers compaction on the way
+        }
+        assert!(q.raw_len() < 1000, "compaction should have shrunk the heap");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, keep);
     }
 }

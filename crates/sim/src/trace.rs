@@ -10,6 +10,8 @@
 //! is a small plain struct, and categories can be disabled wholesale so
 //! a 24 h simulated run does not accumulate gigabytes of packet events.
 
+use std::collections::HashMap;
+
 use crate::{Instant, NodeId};
 
 /// Category of a trace record. Mirrors the layers of the stack.
@@ -51,6 +53,11 @@ pub struct Trace {
     enabled: [bool; 6],
     dropped: u64,
     capacity: usize,
+    /// Per-tag record count, maintained on emit, so `count_tag` (and
+    /// the metrics passes built on it) are O(1) lookups instead of
+    /// full-trace scans. Counts stored records only — dropped ones
+    /// are invisible here just as they are in `events`.
+    counts: HashMap<&'static str, usize>,
 }
 
 fn kind_idx(kind: TraceKind) -> usize {
@@ -75,6 +82,7 @@ impl Trace {
             enabled: [true; 6],
             dropped: 0,
             capacity,
+            counts: HashMap::new(),
         }
     }
 
@@ -109,6 +117,7 @@ impl Trace {
             self.dropped += 1;
             return;
         }
+        *self.counts.entry(tag).or_insert(0) += 1;
         self.events.push(TraceEvent {
             at,
             node,
@@ -128,9 +137,10 @@ impl Trace {
         self.events.iter().filter(move |e| e.tag == tag)
     }
 
-    /// Count of records matching a tag.
+    /// Count of records matching a tag. O(1): served from the per-tag
+    /// counter map maintained on emit.
     pub fn count_tag(&self, tag: &str) -> usize {
-        self.events.iter().filter(|e| e.tag == tag).count()
+        self.counts.get(tag).copied().unwrap_or(0)
     }
 
     /// Number of records discarded because the budget was exhausted.
@@ -138,10 +148,11 @@ impl Trace {
         self.dropped
     }
 
-    /// Discard all stored records (budget resets too).
+    /// Discard all stored records (budget and tag counters reset too).
     pub fn clear(&mut self) {
         self.events.clear();
         self.dropped = 0;
+        self.counts.clear();
     }
 }
 
@@ -208,7 +219,25 @@ mod tests {
         t.clear();
         assert!(t.events().is_empty());
         assert_eq!(t.dropped(), 0);
+        assert_eq!(t.count_tag("a"), 0, "tag counters reset on clear");
         ev(&mut t, 3, "c");
         assert_eq!(t.events().len(), 1);
+        assert_eq!(t.count_tag("c"), 1);
+    }
+
+    #[test]
+    fn count_tag_tracks_stored_records_only() {
+        let mut t = Trace::with_capacity(2);
+        t.set_enabled(TraceKind::Phy, false);
+        ev(&mut t, 1, "a");
+        ev(&mut t, 2, "a");
+        ev(&mut t, 3, "a"); // over budget: dropped, not counted
+        t.emit(Instant::ZERO, NodeId(0), TraceKind::Phy, "a", 0); // disabled
+        assert_eq!(t.count_tag("a"), 2);
+        assert_eq!(t.count_tag("absent"), 0);
+        assert_eq!(
+            t.count_tag("a"),
+            t.events().iter().filter(|e| e.tag == "a").count()
+        );
     }
 }

@@ -95,6 +95,9 @@ pub struct ExperimentResult {
     /// diagnostics were lost — surfaced here (and warned about on
     /// stderr) instead of disappearing silently.
     pub trace_dropped: u64,
+    /// Kernel events processed over the whole run (warmup + measured
+    /// + drain) — the `kernelbench` throughput denominator.
+    pub events_processed: u64,
     /// Label for tables ("tree static 75ms" …).
     pub label: String,
 }
@@ -132,6 +135,7 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     );
     let trace_dropped = world.trace.dropped();
     warn_trace_dropped(&label, trace_dropped);
+    let events_processed = world.events_processed();
     let records = world.into_records();
     let conn_losses = records.conn_losses.len();
     ExperimentResult {
@@ -140,6 +144,7 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
         pool_drops,
         skipped_events,
         trace_dropped,
+        events_processed,
         label,
         records,
     }
@@ -174,6 +179,7 @@ pub fn run_ieee(spec: &ExperimentSpec) -> ExperimentResult {
     );
     let trace_dropped = world.trace.dropped();
     warn_trace_dropped(&label, trace_dropped);
+    let events_processed = world.events_processed();
     let records = world.into_records();
     ExperimentResult {
         conn_losses: 0,
@@ -181,6 +187,7 @@ pub fn run_ieee(spec: &ExperimentSpec) -> ExperimentResult {
         pool_drops: 0,
         skipped_events: Vec::new(),
         trace_dropped,
+        events_processed,
         label,
         records,
     }

@@ -73,15 +73,17 @@ pub fn measure_single_link_cfg(
 
     // Bring the link up.
     {
-        let outs = lls[1].start_advertising(Instant::ZERO);
-        apply(&mut queue, &mut medium, &mut inflight, &mut next_tx, &mut listening, NodeId(1), outs, &mut connected);
-        let outs = lls[0].start_scanning(
+        let mut outs = Vec::new();
+        lls[1].start_advertising(Instant::ZERO, &mut outs);
+        apply(&mut queue, &mut medium, &mut inflight, &mut next_tx, &mut listening, NodeId(1), &mut outs, &mut connected);
+        lls[0].start_scanning(
             Instant::ZERO,
             NodeId(1),
             conn,
             ConnParams::with_interval(interval),
+            &mut outs,
         );
-        apply(&mut queue, &mut medium, &mut inflight, &mut next_tx, &mut listening, NodeId(0), outs, &mut connected);
+        apply(&mut queue, &mut medium, &mut inflight, &mut next_tx, &mut listening, NodeId(0), &mut outs, &mut connected);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -92,11 +94,11 @@ pub fn measure_single_link_cfg(
         next_tx: &mut u64,
         listening: &mut [Option<(ListenTag, Channel, Instant, Instant)>; 2],
         node: NodeId,
-        outs: Vec<Output>,
+        outs: &mut Vec<Output>,
         connected: &mut u8,
     ) {
         let now = queue.now();
-        for o in outs {
+        for o in outs.drain(..) {
             match o {
                 Output::Arm { at, timer } => {
                     queue.schedule_at(at.max(now), Ev::Timer(node, timer));
@@ -146,8 +148,9 @@ pub fn measure_single_link_cfg(
         };
         match ev {
             Ev::Timer(node, timer) => {
-                let outs = lls[node.index()].on_timer(now, timer);
-                apply(queue, medium, inflight, &mut next_tx, listening, node, outs, connected);
+                let mut outs = Vec::new();
+                lls[node.index()].on_timer(now, timer, &mut outs);
+                apply(queue, medium, inflight, &mut next_tx, listening, node, &mut outs, connected);
             }
             Ev::TxEnd(id) => {
                 let idx = inflight.iter().position(|f| f.id == id).expect("tracked");
@@ -161,15 +164,15 @@ pub fn measure_single_link_cfg(
                             .then_some(NodeId(i as u16))
                     })
                     .collect();
+                let mut outs = Vec::new();
                 for (listener, outcome) in medium.finish_tx(fl.tx, &listeners) {
                     if outcome.is_ok() {
-                        let outs =
-                            lls[listener.index()].on_frame_rx(now, &fl.frame, fl.channel);
-                        apply(queue, medium, inflight, &mut next_tx, listening, listener, outs, connected);
+                        lls[listener.index()].on_frame_rx(now, &fl.frame, fl.channel, &mut outs);
+                        apply(queue, medium, inflight, &mut next_tx, listening, listener, &mut outs, connected);
                     }
                 }
-                let outs = lls[fl.src.index()].on_tx_done(now, &fl.frame);
-                apply(queue, medium, inflight, &mut next_tx, listening, fl.src, outs, connected);
+                lls[fl.src.index()].on_tx_done(now, &fl.frame, &mut outs);
+                apply(queue, medium, inflight, &mut next_tx, listening, fl.src, &mut outs, connected);
             }
         }
         true

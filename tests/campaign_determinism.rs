@@ -99,6 +99,74 @@ fn artifacts_identical_across_worker_counts_and_resume_skips() {
     let _ = fs::remove_dir_all(&root4);
 }
 
+/// Regression guard for the zero-allocation hot path: short
+/// figure-07/figure-15-shaped workloads (tree + line topology, static
+/// + randomized connection intervals) must produce byte-identical
+/// artifacts across two independent runs at the same seed. The buffer
+/// pool, the scratch-output reuse, the indexed `tx_end` slab, and the
+/// slot-stamped event queue all recycle state between events — any
+/// leak of recycled bytes or reordering of RNG draws shows up here.
+#[test]
+fn figure_workloads_are_bytewise_reproducible() {
+    let ms = Duration::from_millis;
+    let grid = || {
+        GridBuilder::new("fig-shape", 42)
+            .axis(
+                "case",
+                ["tree-75", "line-75", "tree-40-60"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            )
+            .explicit_seeds(&[42])
+            .build()
+    };
+    // fig07 shape: both topologies at the paper's 75 ms static
+    // interval; fig15 shape: a randomized-interval cell. 70 s covers
+    // the 30 s warmup plus real producer traffic on the data path.
+    let body = |job: &mindgap_campaign::Job| {
+        let (topo, policy) = match job.params["case"].as_str() {
+            "line-75" => (Topology::paper_line(), IntervalPolicy::Static(ms(75))),
+            "tree-40-60" => (
+                Topology::paper_tree(),
+                IntervalPolicy::Randomized { lo: ms(40), hi: ms(60) },
+            ),
+            _ => (Topology::paper_tree(), IntervalPolicy::Static(ms(75))),
+        };
+        let spec = ExperimentSpec::paper_default(topo, policy, job.seed)
+            .with_duration(Duration::from_secs(70));
+        to_job_result(&run_ble(&spec), &[])
+    };
+    let root_a = scratch("fig-a");
+    let root_b = scratch("fig-b");
+    let report_a = mindgap_campaign::run(&grid(), &quiet(root_a.clone(), 2), body);
+    let report_b = mindgap_campaign::run(&grid(), &quiet(root_b.clone(), 1), body);
+    assert!(report_a.failures().is_empty());
+    assert!(report_b.failures().is_empty());
+    let bytes_a = figure_artifact_bytes(&root_a);
+    let bytes_b = figure_artifact_bytes(&root_b);
+    assert_eq!(bytes_a.len(), 3);
+    assert_eq!(
+        bytes_a, bytes_b,
+        "figure-shaped artifacts must be byte-identical across repeated runs"
+    );
+    let _ = fs::remove_dir_all(&root_a);
+    let _ = fs::remove_dir_all(&root_b);
+}
+
+/// Like [`artifact_bytes`] but for the figure-shaped campaign name.
+fn figure_artifact_bytes(root: &PathBuf) -> BTreeMap<String, Vec<u8>> {
+    let jobs = root.join("fig-shape").join("jobs");
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(&jobs).expect("jobs dir") {
+        let path = entry.unwrap().path();
+        out.insert(
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            fs::read(&path).unwrap(),
+        );
+    }
+    out
+}
+
 #[test]
 fn panicking_job_does_not_abort_the_campaign() {
     let root = scratch("panic");

@@ -255,9 +255,10 @@ fn l2cap_sdu_roundtrip() {
         let mut a = CocChannel::symmetric(cfg, 0x40, 0x41);
         let mut b = CocChannel::symmetric(cfg, 0x41, 0x40);
         let mut pool = BufPool::new(1 << 16);
+        let mut bufs = mindgap::sim::BytePool::new();
         a.send_sdu(sdu.clone(), &mut pool).expect("fits");
         let mut got = None;
-        while let Some(pdu) = a.next_pdu(max_pdu, &mut pool) {
+        while let Some(pdu) = a.next_pdu(max_pdu, &mut pool, &mut bufs) {
             let dec = mindgap::l2cap::frame::decode_basic(&pdu).expect("frame");
             if let Some(s) = b.on_pdu(dec.payload).expect("protocol") {
                 got = Some(s);
