@@ -3,7 +3,7 @@
 //! A faithful, timing-accurate model of the Bluetooth Low Energy link
 //! layer as the paper's experiments exercise it (§2):
 //!
-//! * **Connections** ([`conn`], [`ll`]) — connection events paced by
+//! * **Connections** (`conn`, `ll`) — connection events paced by
 //!   the *connection interval*, the strict IFS-separated packet
 //!   ping-pong of Fig. 3, the More-Data flag, 1-bit SN/NESN ARQ with
 //!   retransmission on the next event, subordinate latency, and the
@@ -11,7 +11,7 @@
 //! * **Channel hopping** ([`channels`]) — channel maps over the 37
 //!   data channels and both channel selection algorithms (CSA#1 and
 //!   CSA#2).
-//! * **Advertising and scanning** ([`ll`]) — ADV_IND on the three
+//! * **Advertising and scanning** (`ll`) — ADV_IND on the three
 //!   advertising channels with the spec's 0–10 ms advDelay, scan
 //!   windows, and CONNECT_IND-based connection setup with the
 //!   transmit-window anchor randomisation that places each new
@@ -50,4 +50,4 @@ mod ll;
 
 pub use config::{BlePhy, ConnParams, LlConfig};
 pub use conn::{ConnId, ConnStats, LossReason, Role};
-pub use ll::{Frame, LinkLayer, ListenTag, LlCounters, Output, Timer, TimerKind};
+pub use ll::{Frame, LinkLayer, ListenTag, LlCounters, LlObsEvent, Output, Timer, TimerKind};

@@ -243,6 +243,42 @@ pub enum Output {
         /// Free-form detail (usually a connection id).
         detail: u64,
     },
+    /// Structured observability event (timeline feed). Separate from
+    /// [`Output::Trace`] so the timeline gets typed payloads (anchors,
+    /// intervals) instead of a single `u64` detail.
+    Obs(LlObsEvent),
+}
+
+/// Typed link-layer events for the observability timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlObsEvent {
+    /// A connection event opened (coordinator TX or subordinate
+    /// sync). The anchor sequence is the raw material of the paper's
+    /// §6.2 shading analysis.
+    ConnEvent {
+        /// Connection id.
+        conn: ConnId,
+        /// `true` when this node coordinates the connection.
+        coord: bool,
+        /// Event anchor point (global time).
+        anchor: Instant,
+        /// Connection interval, in this node's global-time units.
+        interval: Duration,
+    },
+    /// A channel-map update took effect at its instant boundary.
+    ChannelMapUpdate {
+        /// Connection id.
+        conn: ConnId,
+        /// Data channels still in use.
+        used: u8,
+    },
+    /// A connection-parameter update took effect.
+    ConnParamUpdate {
+        /// Connection id.
+        conn: ConnId,
+        /// New connection interval (local-clock units).
+        interval: Duration,
+    },
 }
 
 /// Link-layer counters (energy model and experiment metrics feed on
@@ -785,6 +821,10 @@ impl LinkLayer {
                     tag: "conn_update_applied",
                     detail: conn.id.0,
                 });
+                out.push(Output::Obs(LlObsEvent::ConnParamUpdate {
+                    conn: conn.id,
+                    interval,
+                }));
             }
             ControlPdu::ChannelMapInd { map, .. } => {
                 conn.selector.set_map(map);
@@ -792,6 +832,10 @@ impl LinkLayer {
                     tag: "chmap_update_applied",
                     detail: conn.id.0,
                 });
+                out.push(Output::Obs(LlObsEvent::ChannelMapUpdate {
+                    conn: conn.id,
+                    used: map.used() as u8,
+                }));
             }
         }
         conn.pending_update = None;
@@ -1012,6 +1056,12 @@ impl LinkLayer {
         conn.stats.events += 1;
         let pdu = conn.next_pdu(&mut self.bufs);
         let aa_val = conn.access_address;
+        out.push(Output::Obs(LlObsEvent::ConnEvent {
+            conn: id,
+            coord: true,
+            anchor: conn.next_anchor,
+            interval: clock.to_global(conn.params.interval),
+        }));
         self.counters.coord_events += 1;
         self.counters.tx_ns += data_air(self.cfg.phy, pdu.payload.len()).nanos();
         out.push(Output::Tx {
@@ -1191,6 +1241,12 @@ impl LinkLayer {
                     conn.event_synced = true;
                     conn.stats.events += 1;
                     self.counters.sub_events += 1;
+                    out.push(Output::Obs(LlObsEvent::ConnEvent {
+                        conn: id,
+                        coord: false,
+                        anchor: conn.next_anchor,
+                        interval: clock.to_global(conn.params.interval),
+                    }));
                 }
                 conn.last_rx = now;
                 conn.established = true;

@@ -131,6 +131,9 @@ impl MiniWorld {
                     self.refill(node, conn);
                 }
                 Output::Trace { .. } => {}
+                // Observability events are the World's concern; the
+                // LL harness only exercises protocol behaviour.
+                Output::Obs(_) => {}
             }
         }
     }

@@ -113,6 +113,14 @@ impl Value {
         }
     }
 
+    /// Convenience: the boolean, or `None` for other variants.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Convenience: the string slice, or `None` for other variants.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -19,12 +19,13 @@
 //! (§5.1).
 
 use mindgap_ble::{
-    ConnId, Frame, LinkLayer, ListenTag, LlConfig, LossReason, Output, Role, Timer,
+    ConnId, Frame, LinkLayer, ListenTag, LlConfig, LlObsEvent, LossReason, Output, Role, Timer,
 };
 use mindgap_coap::{Client, Code, Message, MsgType, Server};
 use mindgap_l2cap::frame::{self as l2frame, Signal, CID_LE_SIGNALING};
 use mindgap_l2cap::{BufPool, CocChannel, CocConfig, NIMBLE_BUF_BYTES};
 use mindgap_net::{Ipv6Addr, Ipv6Stack, NetConfig, StackEvent};
+use mindgap_obs::{MetricsSnapshot, Obs, Span};
 use mindgap_phy::{
     Channel, LossConfig, Medium, MediumConfig, RxOutcome, TxId, TxParams, BLE_JAMMED_CHANNEL,
     CHANNEL_TABLE_SIZE,
@@ -39,6 +40,13 @@ use crate::{BENCH_PATH, COAP_PAYLOAD};
 
 /// The CoAP port used throughout.
 const COAP_PORT: u16 = 5683;
+
+/// Node index behind a conventional simulation address (the inverse
+/// of [`Ipv6Addr::of_node`]; the index lives in the IID's last two
+/// bytes).
+fn node_of_addr(a: Ipv6Addr) -> u16 {
+    u16::from_be_bytes([a.0[14], a.0[15]])
+}
 
 /// Application (workload) configuration — the paper's
 /// producer/consumer scenario (§4.3).
@@ -112,6 +120,9 @@ pub struct WorldConfig {
     pub dynamic_routing: bool,
     /// Time-bucket width for records.
     pub record_bucket: Duration,
+    /// Observability timeline capacity in events (ring buffer; `0`
+    /// disables timeline recording; metrics counters are unaffected).
+    pub timeline_cap: usize,
 }
 
 impl WorldConfig {
@@ -127,6 +138,7 @@ impl WorldConfig {
             conn_channel_map: mindgap_ble::channels::ChannelMap::all_except_jammed(),
             dynamic_routing: false,
             record_bucket: Duration::from_secs(60),
+            timeline_cap: 1 << 16,
         }
     }
 }
@@ -221,6 +233,9 @@ pub struct World {
     records: Records,
     /// Structured trace (control-plane categories by default).
     pub trace: Trace,
+    /// Observability: layered metrics registry + event timeline
+    /// (see `mindgap-obs` and DESIGN.md §8).
+    pub obs: Obs,
     app: AppConfig,
     /// Echo replies observed (for examples/tests): (node, from, seq).
     pub echo_replies: Vec<(NodeId, Ipv6Addr, u16)>,
@@ -298,6 +313,7 @@ impl World {
             max_pdu: cfg.ll.max_pdu,
             records: Records::new(cfg.record_bucket),
             trace: Trace::control_plane(1 << 20),
+            obs: Obs::new(n, cfg.timeline_cap),
             app,
             echo_replies: Vec::new(),
             started: false,
@@ -336,6 +352,36 @@ impl World {
     /// Link-layer counters of one node.
     pub fn ll_counters(&self, node: NodeId) -> mindgap_ble::LlCounters {
         self.nodes[node.index()].ll.counters()
+    }
+
+    /// Fold component-held counters (LL counters, `NetStats`, CoC
+    /// credit stalls, routing rank) into the registry's sampled
+    /// metrics and return a point-in-time snapshot of everything.
+    pub fn obs_snapshot(&mut self) -> MetricsSnapshot {
+        let m = self.obs.m;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u16);
+            let n = &self.nodes[i];
+            let c = n.ll.counters();
+            let reg = &mut self.obs.reg;
+            reg.set_counter(m.phy_tx_airtime_ns, id, c.tx_ns);
+            reg.set_counter(m.phy_listen_ns, id, c.listen_ns);
+            reg.set_counter(m.ll_conn_events_coord, id, c.coord_events);
+            reg.set_counter(m.ll_conn_events_sub, id, c.sub_events);
+            reg.set_counter(m.ll_events_skipped, id, c.skipped_events);
+            reg.set_counter(m.ll_events_missed, id, c.sub_missed);
+            let s = n.stack.stats();
+            reg.set_counter(m.ipv6_originated, id, s.originated);
+            reg.set_counter(m.ipv6_forwarded, id, s.forwarded);
+            reg.set_counter(m.ipv6_delivered, id, s.delivered);
+            reg.set_counter(m.ipv6_dropped, id, s.dropped);
+            reg.set_counter(m.ipv6_no_route, id, s.no_route);
+            let stalls: u64 = n.cocs.iter().map(|(_, s)| s.chan.credit_stalls()).sum();
+            reg.set_counter(m.l2cap_credit_stalls, id, stalls);
+            let rank = n.rpl.as_ref().map(|a| a.rank() as i64).unwrap_or(-1);
+            reg.gauge_set(m.rpl_rank, id, rank);
+        }
+        self.obs.snapshot()
     }
 
     /// Interval of a live connection at any node (debug).
@@ -579,8 +625,14 @@ impl World {
             Ev::AppSend(node) => self.producer_send(now, node),
             Ev::CoapSweep => {
                 let timeout = self.app.coap_timeout.nanos();
-                for n in &mut self.nodes {
-                    let _ = n.client.expire(now.nanos(), timeout);
+                for i in 0..self.nodes.len() {
+                    let expired =
+                        self.nodes[i].client.expire(now.nanos(), timeout).len() as u64;
+                    if expired > 0 {
+                        self.obs
+                            .reg
+                            .add(self.obs.m.coap_timeouts, NodeId(i as u16), expired);
+                    }
                 }
                 self.queue.schedule_in(Duration::from_secs(5), Ev::CoapSweep);
             }
@@ -618,13 +670,28 @@ impl World {
             self.records.drop("rpl_malformed");
             return;
         };
-        let sends = {
+        self.obs.reg.inc(self.obs.m.rpl_msgs_rx, node);
+        let (sends, switch) = {
             let n = &mut self.nodes[node.index()];
             let Some(agent) = n.rpl.as_mut() else {
                 return;
             };
-            agent.on_msg(src, msg, n.stack.routing_mut())
+            let before = agent.parent();
+            let sends = agent.on_msg(src, msg, n.stack.routing_mut());
+            let after = agent.parent();
+            (sends, (before != after).then_some((before, after)))
         };
+        if let Some((old, new)) = switch {
+            self.obs.reg.inc(self.obs.m.rpl_parent_switches, node);
+            self.obs.timeline.record(
+                self.queue.now(),
+                node,
+                Span::RplParentSwitch {
+                    old: old.map(node_of_addr).unwrap_or(u16::MAX),
+                    new: new.map(node_of_addr).unwrap_or(u16::MAX),
+                },
+            );
+        }
         self.rpl_transmit(node, sends);
     }
 
@@ -654,6 +721,10 @@ impl World {
                     let ok = outcomes
                         .iter()
                         .any(|(l, o)| *l == dst && o.is_ok());
+                    self.obs.reg.inc(self.obs.m.ll_data_attempts, fl.src);
+                    if ok {
+                        self.obs.reg.inc(self.obs.m.ll_data_delivered, fl.src);
+                    }
                     self.records
                         .ll_attempt(fl.src, dst, now, fl.channel.index(), ok);
                 }
@@ -731,6 +802,13 @@ impl World {
                         .schedule_at(at.max(now), Ev::LlTimer(node, timer));
                 }
                 Output::Tx { channel, frame } => {
+                    let payload_bytes = match &frame {
+                        Frame::AdvInd { payload_len, .. } => *payload_len as u64,
+                        Frame::ConnectInd { .. } => 34,
+                        Frame::Data { pdu, .. } => pdu.payload.len() as u64,
+                    };
+                    self.obs.reg.inc(self.obs.m.phy_tx_frames, node);
+                    self.obs.reg.add(self.obs.m.phy_tx_bytes, node, payload_bytes);
                     let airtime = frame.airtime();
                     let tx = self.medium.begin_tx(TxParams {
                         src: node,
@@ -787,10 +865,45 @@ impl World {
                     self.pump(node, conn);
                 }
                 Output::Trace { tag, detail } => {
+                    if tag == "event_skipped" {
+                        self.obs
+                            .timeline
+                            .record(now, node, Span::EventSkipped { conn: detail });
+                    }
                     self.trace.emit(now, node, TraceKind::Link, tag, detail);
                 }
+                Output::Obs(ev) => self.obs_ll_event(now, node, ev),
             }
         }
+    }
+
+    /// Fold a typed link-layer observability event into the timeline.
+    fn obs_ll_event(&mut self, now: Instant, node: NodeId, ev: LlObsEvent) {
+        if !self.obs.timeline.enabled() {
+            return;
+        }
+        let span = match ev {
+            LlObsEvent::ConnEvent {
+                conn,
+                coord,
+                anchor,
+                interval,
+            } => Span::ConnEvent {
+                conn: conn.0,
+                coord,
+                anchor_ns: anchor.nanos(),
+                interval_ns: interval.nanos(),
+            },
+            LlObsEvent::ChannelMapUpdate { conn, used } => Span::ChannelMapUpdate {
+                conn: conn.0,
+                used,
+            },
+            LlObsEvent::ConnParamUpdate { conn, interval } => Span::ConnParamUpdate {
+                conn: conn.0,
+                interval_ns: interval.nanos(),
+            },
+        };
+        self.obs.timeline.record(now, node, span);
     }
 
     fn conn_up(&mut self, node: NodeId, conn: ConnId, peer: NodeId, role: Role) {
@@ -810,6 +923,17 @@ impl World {
             .ll
             .conn_interval(conn)
             .expect("fresh connection");
+        self.obs.reg.inc(self.obs.m.ll_conn_established, node);
+        self.obs.timeline.record(
+            now,
+            node,
+            Span::ConnUp {
+                conn: conn.0,
+                peer,
+                coord: role == Role::Coordinator,
+                interval_ns: interval.nanos(),
+            },
+        );
         let actions =
             self.nodes[node.index()]
                 .statconn
@@ -835,6 +959,23 @@ impl World {
         let now = self.queue.now();
         self.trace
             .emit(now, node, TraceKind::ConnMgr, "conn_down", conn.0);
+        self.obs.reg.inc(self.obs.m.ll_conn_lost, node);
+        if reason == LossReason::SupervisionTimeout {
+            self.obs.reg.inc(self.obs.m.ll_supervision_timeouts, node);
+        }
+        self.obs.timeline.record(
+            now,
+            node,
+            Span::ConnDown {
+                conn: conn.0,
+                peer,
+                reason: match reason {
+                    LossReason::SupervisionTimeout => "supervision_timeout",
+                    LossReason::LocalClose => "local_close",
+                    LossReason::EstablishFailed => "establish_failed",
+                },
+            },
+        );
         if reason == LossReason::SupervisionTimeout {
             self.records.conn_loss(now, node, peer);
         }
@@ -952,7 +1093,23 @@ impl World {
                     ll.enqueue(conn, pdu)
                         .expect("space checked before pull");
                 }
-                None => return,
+                None => {
+                    // A zero-credit stall with data queued is the §5.2
+                    // flow-control coupling — timestamp its onset.
+                    let stalled = coc.chan.take_stall_event();
+                    let queued = coc.chan.queued_bytes() as u64;
+                    if stalled {
+                        self.obs.timeline.record(
+                            self.queue.now(),
+                            node,
+                            Span::CreditStall {
+                                conn: conn.0,
+                                queued_bytes: queued,
+                            },
+                        );
+                    }
+                    return;
+                }
             }
         }
     }
@@ -974,6 +1131,7 @@ impl World {
                 }
                 Err(_) => {
                     n.ll.recycle(payload);
+                    self.obs.reg.inc(self.obs.m.l2cap_rx_malformed, node);
                     self.records.drop("l2cap_malformed");
                     return;
                 }
@@ -1013,6 +1171,7 @@ impl World {
                 }
                 Err(_) => {
                     ll.recycle(body);
+                    self.obs.reg.inc(self.obs.m.l2cap_rx_malformed, node);
                     self.records.drop("l2cap_protocol");
                     return;
                 }
@@ -1020,6 +1179,10 @@ impl World {
         };
         self.pump(node, conn); // flush credits (and any queued data)
         if let Some(sdu) = sdu {
+            self.obs.reg.inc(self.obs.m.l2cap_sdu_rx, node);
+            self.obs
+                .reg
+                .observe(self.obs.m.l2cap_sdu_bytes, node, sdu.len() as u64);
             self.handle_sdu(node, peer, sdu);
         }
     }
@@ -1033,10 +1196,12 @@ impl World {
         let packet = match iphc::decode_frame(&sdu, &ctx) {
             Ok(p) => p,
             Err(_) => {
+                self.obs.reg.inc(self.obs.m.sixlowpan_decode_errors, node);
                 self.records.drop("sixlowpan_malformed");
                 return;
             }
         };
+        self.obs.reg.inc(self.obs.m.sixlowpan_frames_decoded, node);
         let events = self.nodes[node.index()].stack.on_datagram(&packet);
         self.handle_stack_events(node, events);
     }
@@ -1087,6 +1252,7 @@ impl World {
                 n.server.respond(&msg, Code::CONTENT, response_payload)
             };
             if let Some(reply) = reply {
+                self.obs.reg.inc(self.obs.m.coap_resp_tx, node);
                 let bytes = reply.message.encode();
                 self.send_udp(node, src, COAP_PORT, src_port, &bytes);
             }
@@ -1096,6 +1262,10 @@ impl World {
                 n.client.on_response(&msg, now.nanos())
             };
             if let Some(c) = done {
+                self.obs.reg.inc(self.obs.m.coap_resp_rx, node);
+                self.obs
+                    .reg
+                    .observe(self.obs.m.coap_rtt_us, node, c.rtt_ns / 1_000);
                 self.records.coap_done(
                     node,
                     Instant::from_nanos(c.request.sent_at_ns),
@@ -1111,7 +1281,10 @@ impl World {
             .send_udp(dst, src_port, dst_port, data);
         match res {
             Ok((packet, ll)) => self.send_ip(node, packet, ll),
-            Err(_) => self.records.drop("no_route_local"),
+            Err(_) => {
+                self.obs.reg.inc(self.obs.m.ipv6_send_failures, node);
+                self.records.drop("no_route_local");
+            }
         }
     }
 
@@ -1131,10 +1304,12 @@ impl World {
         }
         let peer = NodeId(u16::from_be_bytes([next_hop_ll.0[6], next_hop_ll.0[7]]));
         let Some(conn) = self.nodes[node.index()].statconn.conn_to(peer) else {
+            self.obs.reg.inc(self.obs.m.ipv6_send_failures, node);
             self.records.drop("link_down");
             return;
         };
         if self.nodes[node.index()].coc(conn).is_none() {
+            self.obs.reg.inc(self.obs.m.ipv6_send_failures, node);
             self.records.drop("link_down");
             return;
         }
@@ -1158,9 +1333,18 @@ impl World {
             return;
         };
         match coc.chan.send_sdu(frame, pool) {
-            Ok(()) => self.pump(node, conn),
+            Ok(()) => {
+                self.obs.reg.inc(self.obs.m.l2cap_sdu_tx, node);
+                self.pump(node, conn)
+            }
             Err(_) => {
                 // The paper's §5.2 loss mechanism: mbuf pool exhausted.
+                self.obs.reg.inc(self.obs.m.l2cap_mbuf_drops, node);
+                self.obs.timeline.record(
+                    self.queue.now(),
+                    node,
+                    Span::MbufExhausted { conn: conn.0 },
+                );
                 self.records.drop("mbuf_exhausted");
                 self.trace.emit(
                     self.queue.now(),
@@ -1185,6 +1369,7 @@ impl World {
             n.client
                 .request(now.nanos(), MsgType::NonConfirmable, Code::GET, BENCH_PATH, payload)
         };
+        self.obs.reg.inc(self.obs.m.coap_req_tx, node);
         self.records.coap_sent(node, now);
         self.trace.emit(now, node, TraceKind::App, "coap_req", 0);
         let bytes = msg.encode();

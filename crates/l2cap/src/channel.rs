@@ -109,11 +109,19 @@ pub struct CocChannel {
     /// Credits the peer has left before we must replenish.
     peer_credits_outstanding: u32,
     consumed_since_grant: u16,
+    /// `true` while the channel has queued data but zero credits
+    /// (flow-control stall, §5.2). Edge-tracked so each stall counts
+    /// once however many times `next_pdu` is polled during it.
+    stalled: bool,
+    /// Set on each stall edge; drained by [`CocChannel::take_stall_event`]
+    /// so the host can timestamp the stall on its timeline.
+    stall_event: bool,
     // --- statistics ---
     sdus_sent: u64,
     sdus_received: u64,
     pdus_sent: u64,
     pdus_received: u64,
+    credit_stalls: u64,
 }
 
 impl CocChannel {
@@ -139,10 +147,13 @@ impl CocChannel {
             rx_partial: None,
             peer_credits_outstanding: local.initial_credits as u32,
             consumed_since_grant: 0,
+            stalled: false,
+            stall_event: false,
             sdus_sent: 0,
             sdus_received: 0,
             pdus_sent: 0,
             pdus_received: 0,
+            credit_stalls: 0,
         }
     }
 
@@ -204,6 +215,11 @@ impl CocChannel {
         bufs: &mut BytePool,
     ) -> Option<Vec<u8>> {
         if self.tx_credits == 0 {
+            if !self.tx_queue.is_empty() && !self.stalled {
+                self.stalled = true;
+                self.stall_event = true;
+                self.credit_stalls += 1;
+            }
             return None;
         }
         let head = self.tx_queue.front_mut()?;
@@ -304,6 +320,20 @@ impl CocChannel {
     /// Peer granted us additional credits.
     pub fn grant(&mut self, credits: u16) {
         self.tx_credits = (self.tx_credits + credits as u32).min(u16::MAX as u32);
+        if self.tx_credits > 0 {
+            self.stalled = false;
+        }
+    }
+
+    /// Times the channel entered a zero-credit stall with data queued.
+    pub fn credit_stalls(&self) -> u64 {
+        self.credit_stalls
+    }
+
+    /// Drain the pending stall edge, if any: returns `true` once per
+    /// stall, at the first poll after the stall began.
+    pub fn take_stall_event(&mut self) -> bool {
+        core::mem::take(&mut self.stall_event)
     }
 
     /// (sent SDUs, received SDUs, sent PDUs, received PDUs).

@@ -107,6 +107,12 @@ pub struct NetStats {
     pub originated: u64,
     /// Drops for any reason.
     pub dropped: u64,
+    /// Routing failures: forwarded packets with no route (a subset of
+    /// `dropped`) plus local sends refused with [`NetError::NoRoute`].
+    /// Broken out because route loss is the interesting failure mode
+    /// under dynamic topologies — the observability layer samples it
+    /// separately from generic drops.
+    pub no_route: u64,
 }
 
 /// The stack proper.
@@ -177,6 +183,15 @@ impl Ipv6Stack {
         self.neighbors.lookup(&next_hop).ok_or(NetError::NoNeighbor)
     }
 
+    /// [`Ipv6Stack::resolve`] with `NetStats::no_route` accounting.
+    fn resolve_counted(&mut self, dst: &Ipv6Addr) -> Result<LlAddr, NetError> {
+        let res = self.resolve(dst);
+        if res == Err(NetError::NoRoute) {
+            self.stats.no_route += 1;
+        }
+        res
+    }
+
     /// Originate a UDP datagram. Returns the packet and the resolved
     /// next-hop link address; the caller enqueues it on the right link.
     pub fn send_udp(
@@ -189,7 +204,7 @@ impl Ipv6Stack {
         if payload.len() + udp::UDP_HEADER_LEN > u16::MAX as usize {
             return Err(NetError::PayloadTooBig);
         }
-        let ll = self.resolve(&dst)?;
+        let ll = self.resolve_counted(&dst)?;
         let dgram = udp::encode(&self.cfg.addr, &dst, src_port, dst_port, payload);
         let mut packet =
             Ipv6Header::build_packet(NextHeader::Udp, self.cfg.addr, dst, &dgram);
@@ -206,7 +221,7 @@ impl Ipv6Stack {
         sequence: u16,
         payload: &[u8],
     ) -> Result<(Vec<u8>, LlAddr), NetError> {
-        let ll = self.resolve(&dst)?;
+        let ll = self.resolve_counted(&dst)?;
         let msg = Icmpv6::EchoRequest {
             identifier,
             sequence,
@@ -339,6 +354,7 @@ impl Ipv6Stack {
                 }]
             }
             Err(_) => {
+                self.stats.no_route += 1;
                 let mut evs = self.drop("no_route");
                 evs.extend(self.icmp_error_to(
                     hdr.src,

@@ -35,6 +35,31 @@
 //! identical event sequences, metrics and traces. Everything stochastic
 //! derives from [`Rng`] streams forked from the master seed via
 //! [`Rng::fork`].
+//!
+//! ## Example
+//!
+//! The kernel in miniature — and the origin of connection shading:
+//! two clocks a few ppm apart schedule the "same" 75 ms interval, and
+//! their global firing times slide apart a little more every round.
+//!
+//! ```
+//! use mindgap_sim::{Clock, Duration, EventQueue, Instant};
+//!
+//! let fast = Clock::with_ppm(5.0);
+//! let slow = Clock::with_ppm(-5.0);
+//! let itv = Duration::from_millis(75);
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule_at(Instant::ZERO + fast.to_global(itv), "fast");
+//! q.schedule_at(Instant::ZERO + slow.to_global(itv), "slow");
+//!
+//! let (t_fast, who) = q.pop().unwrap();
+//! assert_eq!(who, "fast"); // the fast clock's interval is globally shorter
+//! let (t_slow, _) = q.pop().unwrap();
+//! // ~10 ppm relative drift ≈ 750 ns gained per 75 ms interval: after
+//! // ~10 000 intervals (12.5 min) the trains are a whole event apart.
+//! assert_eq!((t_slow - t_fast).nanos(), 750);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,7 +1,8 @@
 //! Glue between the experiment runner and the campaign engine.
 //!
 //! The figure binaries hand `mindgap_campaign` a job body built from
-//! [`run_ble`]/[`run_ieee`]; this module defines the canonical
+//! [`run_ble`](crate::run_ble)/[`run_ieee`](crate::run_ieee); this
+//! module defines the canonical
 //! flattening of an [`ExperimentResult`] into the engine's
 //! [`JobResult`] so every artifact uses the same metric and series
 //! keys (listed in [`keys`]) and the binaries agree on what they read
@@ -38,6 +39,10 @@ pub mod keys {
     pub const PDR_NODE_PREFIX: &str = "pdr_node_";
     /// Stack drop-counter prefix: `"drop_<reason>"`.
     pub const DROP_PREFIX: &str = "drop_";
+    /// Layered observability metric prefix: `"obs.<metric>"` (see the
+    /// glossary in DESIGN.md §8). Histograms contribute
+    /// `obs.<metric>.count` and `obs.<metric>.mean`.
+    pub const OBS_PREFIX: &str = "obs.";
 }
 
 /// Flatten an experiment result into a campaign artifact.
@@ -59,6 +64,9 @@ pub fn to_job_result(res: &ExperimentResult, per_node_series: &[u16]) -> JobResu
         .metric(keys::BUCKET_S, r.bucket.as_secs_f64());
     for (reason, count) in &r.drops {
         out.metric(&format!("{}{reason}", keys::DROP_PREFIX), *count as f64);
+    }
+    for (name, value) in res.metrics.flat(keys::OBS_PREFIX) {
+        out.metric(&name, value);
     }
     out.series(keys::RTT_S, r.rtt_sorted_secs())
         .series(keys::PDR_SERIES, r.coap_pdr_series());
@@ -115,6 +123,13 @@ mod tests {
         );
         assert_eq!(jr.trace_dropped, res.trace_dropped);
         assert_eq!(jr.label, res.label);
+        if mindgap_obs::enabled() {
+            assert_eq!(
+                jr.get("obs.ll_conn_established"),
+                res.metrics.total("ll_conn_established")
+            );
+            assert!(jr.get("obs.coap_req_tx") > 0.0);
+        }
     }
 
     /// The campaign aggregation formulas must agree with

@@ -9,7 +9,9 @@
 //!   three subordinate connections, as in Fig. 12) and complete static
 //!   host routes in both directions.
 //! * [`runner`] — one-call experiment execution: build the world, form
-//!   the network, run the workload, collect [`mindgap_core::Records`].
+//!   the network, run the workload, collect [`mindgap_core::Records`]
+//!   plus the run's observability data (a `mindgap_obs` metrics
+//!   snapshot and span timeline; DESIGN.md §8).
 //! * [`analysis`] — the §6.2 closed-form shading model
 //!   (`ConnItvl / ClkDrift`) used to sanity-check measured loss
 //!   counts.
@@ -19,6 +21,34 @@
 //! * [`stats`] — CDF/percentile/CI helpers for the figures.
 //! * [`tables`] — the qualitative data of Table 1 (radio comparison)
 //!   and Table 2 (open-source IP-over-BLE implementations).
+//!
+//! ## Example
+//!
+//! A complete (tiny) experiment: a 3-node BLE line at the paper's
+//! defaults, 10 s measured. The result carries aggregate records,
+//! the per-layer metrics snapshot and the span timeline.
+//!
+//! ```
+//! use mindgap_core::IntervalPolicy;
+//! use mindgap_sim::Duration;
+//! use mindgap_testbed::{run_ble, ExperimentSpec, Topology};
+//!
+//! let spec = ExperimentSpec::paper_default(
+//!     Topology::line(3),
+//!     IntervalPolicy::Static(Duration::from_millis(75)),
+//!     42,
+//! )
+//! .with_duration(Duration::from_secs(10));
+//!
+//! let res = run_ble(&spec);
+//! assert!(res.records.coap_pdr() > 0.9);
+//! if mindgap_obs::enabled() {
+//!     // Metrics land in campaign artifacts as `obs.*` keys …
+//!     assert!(res.metrics.total("coap_req_tx") >= 1.0);
+//!     // … and the timeline exports deterministic JSONL.
+//!     assert!(res.timeline.to_jsonl().contains("\"kind\":\"conn_up\""));
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -33,6 +33,9 @@ pub struct ExperimentSpec {
     /// Per-node clock drift range in ppm (±). The paper measured up
     /// to 6 µs/s relative drift between board pairs (§6.2).
     pub clock_ppm_range: f64,
+    /// Timeline ring capacity in events (0 disables span recording;
+    /// metrics counters are unaffected). BLE only.
+    pub timeline_cap: usize,
 }
 
 impl ExperimentSpec {
@@ -48,7 +51,14 @@ impl ExperimentSpec {
             warmup: Duration::from_secs(30),
             seed,
             clock_ppm_range: 3.0,
+            timeline_cap: 1 << 16,
         }
+    }
+
+    /// Override the timeline ring capacity (0 disables span capture).
+    pub fn with_timeline_cap(mut self, cap: usize) -> Self {
+        self.timeline_cap = cap;
+        self
     }
 
     /// Override the clock-drift range (±ppm).
@@ -98,6 +108,14 @@ pub struct ExperimentResult {
     /// Kernel events processed over the whole run (warmup + measured
     /// + drain) — the `kernelbench` throughput denominator.
     pub events_processed: u64,
+    /// Layered metrics snapshot taken at the end of the run (cumulative
+    /// over warmup + measured + drain). Empty for IEEE runs and when
+    /// the workspace is built with `obs-off`.
+    pub metrics: mindgap_obs::MetricsSnapshot,
+    /// The run's span timeline, moved out of the world before record
+    /// extraction. Empty for IEEE runs, when `timeline_cap` is 0, and
+    /// under `obs-off`.
+    pub timeline: mindgap_obs::Timeline,
     /// Label for tables ("tree static 75ms" …).
     pub label: String,
 }
@@ -112,6 +130,7 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     };
     let mut cfg = WorldConfig::paper_default(spec.seed, spec.policy);
     cfg.clock_ppm_range = spec.clock_ppm_range;
+    cfg.timeline_cap = spec.timeline_cap;
     let mut world = World::new(cfg, spec.topology.node_configs(), app);
     // Formation phase.
     world.run_until(Instant::ZERO + spec.warmup);
@@ -136,6 +155,8 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     let trace_dropped = world.trace.dropped();
     warn_trace_dropped(&label, trace_dropped);
     let events_processed = world.events_processed();
+    let metrics = world.obs_snapshot();
+    let timeline = std::mem::take(&mut world.obs.timeline);
     let records = world.into_records();
     let conn_losses = records.conn_losses.len();
     ExperimentResult {
@@ -145,6 +166,8 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
         skipped_events,
         trace_dropped,
         events_processed,
+        metrics,
+        timeline,
         label,
         records,
     }
@@ -188,6 +211,8 @@ pub fn run_ieee(spec: &ExperimentSpec) -> ExperimentResult {
         skipped_events: Vec::new(),
         trace_dropped,
         events_processed,
+        metrics: mindgap_obs::MetricsSnapshot::default(),
+        timeline: mindgap_obs::Timeline::default(),
         label,
         records,
     }

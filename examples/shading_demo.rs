@@ -1,11 +1,17 @@
 //! Connection shading, live: the paper's §6 phenomenon in its minimal
-//! form, then the mitigation.
+//! form, then the mitigation — diagnosed from the observability
+//! timeline rather than ad-hoc counters.
 //!
 //! One relay node subordinates a connection to node 0 and coordinates
 //! another to node 2 — both at the *same* 75 ms interval. Their event
 //! trains drift into overlap (clock drift ≈ the paper's measured
 //! 6 µs/s), events get skipped, and the link dies by supervision
 //! timeout. With randomized intervals the same setup survives.
+//!
+//! Every signal printed below comes from `world.obs`: the anchor
+//! overlap windows from [`mindgap::obs::shading`] (the same detector
+//! the `timeline` inspector binary uses), the skip/timeout tallies
+//! from the recorded spans.
 //!
 //! Run with `cargo run --release --example shading_demo`
 //! (takes ~1 minute: simulates several hours twice).
@@ -14,6 +20,8 @@ use mindgap::core::{
     AppConfig, EdgeConfig, EdgeRole, IntervalPolicy, NodeConfig, World, WorldConfig,
 };
 use mindgap::net::Ipv6Addr;
+use mindgap::obs::shading::{anchor_samples, conn_endpoints, find_shared_node_windows};
+use mindgap::obs::Span;
 use mindgap::sim::{Duration, Instant, NodeId};
 
 fn build(policy: IntervalPolicy) -> World {
@@ -54,35 +62,71 @@ fn build(policy: IntervalPolicy) -> World {
     let mut cfg = WorldConfig::paper_default(2, policy);
     // The paper measured up to 6 µs/s relative drift between boards.
     cfg.clock_ppm_range = 6.0;
+    // Both sides of both links record ~13.3 anchors/s each — ~53/s
+    // total, so half a million spans cover the back half of the run
+    // (the shading episodes; endpoint inference survives the wrap).
+    cfg.timeline_cap = 1 << 19;
     World::new(cfg, nodes, app)
 }
 
-fn run(label: &str, policy: IntervalPolicy) {
+/// Combined length of two full connection events — the §6.2 overlap
+/// threshold (also the `timeline` binary's default).
+const OVERLAP_NS: u64 = 3_000_000;
+
+fn run(label: &str, file: &str, policy: IntervalPolicy) {
     println!("=== {label} ===");
     let mut w = build(policy);
     let hours = 8;
-    for h in 1..=hours {
-        w.run_until(Instant::from_secs(h * 3600));
-        let skipped: u64 = (0..3u16)
-            .map(|i| w.ll_counters(NodeId(i)).skipped_events)
-            .sum();
-        let missed: u64 = (0..3u16)
-            .map(|i| w.ll_counters(NodeId(i)).sub_missed)
-            .sum();
-        println!(
-            "  after {h} h: {} connection losses, {} skipped events, {} missed windows, CoAP PDR {:.3} %",
-            w.records().conn_losses.len(),
-            skipped,
-            missed,
-            w.records().coap_pdr() * 100.0
-        );
+    w.run_until(Instant::from_secs(hours * 3600));
+
+    // All diagnostics below read the recorded timeline.
+    let tl = &w.obs.timeline;
+    let skipped = tl
+        .iter()
+        .filter(|ev| matches!(ev.span, Span::EventSkipped { .. }))
+        .count();
+    let timeouts = tl
+        .iter()
+        .filter(|ev| {
+            matches!(ev.span, Span::ConnDown { reason, .. } if reason == "supervision_timeout")
+        })
+        .count();
+    let samples = anchor_samples(tl.iter());
+    let endpoints = conn_endpoints(tl.iter());
+    let windows = find_shared_node_windows(&samples, &endpoints, OVERLAP_NS);
+    // Keep the artifact around: `timeline --load` re-runs this exact
+    // analysis (EXPERIMENTS.md walks through it).
+    let path = format!("results/{file}");
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write(&path, tl.to_jsonl()).is_ok()
+    {
+        println!("  [jsonl] wrote {path} ({} events)", tl.len());
     }
-    let losses = w.records().conn_losses.len();
-    if losses > 0 {
-        let (t, n, p) = w.records().conn_losses[0];
-        println!("  first loss: {t} at node {n} (peer {p}) — supervision timeout");
+
+    println!(
+        "  after {hours} h: {} connection losses, CoAP PDR {:.3} %",
+        w.records().conn_losses.len(),
+        w.records().coap_pdr() * 100.0
+    );
+    println!(
+        "  timeline (last {} spans): {timeouts} supervision timeouts, {skipped} skipped events",
+        tl.len()
+    );
+    if windows.is_empty() {
+        println!("  anchor timeline: no overlap windows — the trains never collided.");
     } else {
-        println!("  no connection losses.");
+        println!("  anchor overlap windows at the relay (node 1):");
+        for win in &windows {
+            println!(
+                "    conns {}x{}: {:.0} s – {:.0} s ({:.0} s, min phase gap {} µs)",
+                win.conn_a,
+                win.conn_b,
+                win.start_ns as f64 / 1e9,
+                win.end_ns as f64 / 1e9,
+                win.duration_ns() as f64 / 1e9,
+                win.min_gap_ns / 1000
+            );
+        }
     }
     println!();
 }
@@ -91,10 +135,12 @@ fn main() {
     println!("relay node 1: subordinate to node 0, coordinator to node 2\n");
     run(
         "static 75 ms intervals (standard practice — shading expected)",
+        "shading_demo_static.jsonl",
         IntervalPolicy::Static(Duration::from_millis(75)),
     );
     run(
         "randomized [65:85] ms intervals (the paper's mitigation)",
+        "shading_demo_randomized.jsonl",
         IntervalPolicy::Randomized {
             lo: Duration::from_millis(65),
             hi: Duration::from_millis(85),

@@ -21,6 +21,7 @@
 //! | [`dot15d4`] | `mindgap-dot15d4` | IEEE 802.15.4 CSMA/CA baseline |
 //! | [`energy`] | `mindgap-energy` | §5.4 battery model |
 //! | [`core`] | `mindgap-core` | node stacks, statconn, BLE & 802.15.4 worlds |
+//! | [`obs`] | `mindgap-obs` | layered metrics registry, span timeline, shading detection |
 //! | [`testbed`] | `mindgap-testbed` | topologies, runner, analysis, stats |
 //! | [`campaign`] | `mindgap-campaign` | parallel experiment campaigns, resumable artifacts |
 //!
@@ -56,6 +57,7 @@ pub use mindgap_dot15d4 as dot15d4;
 pub use mindgap_energy as energy;
 pub use mindgap_l2cap as l2cap;
 pub use mindgap_net as net;
+pub use mindgap_obs as obs;
 pub use mindgap_phy as phy;
 pub use mindgap_sim as sim;
 pub use mindgap_sixlowpan as sixlowpan;
