@@ -91,13 +91,13 @@ fn main() {
         // (b) RTT CDF.
         let rtt = r.get_series(keys::RTT_S);
         let points = cdf_points(3.0, 61);
-        let cdf = stats::cdf_at(&rtt, &points);
+        let cdf = stats::cdf_at(rtt, &points);
         println!("\nFig 7(b) RTT CDF ({name}):");
         for q in [0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
             println!(
                 "  p{:>4}: {:7.3} s",
                 (q * 100.0) as u32,
-                stats::quantile(&rtt, q).unwrap_or(f64::NAN)
+                stats::quantile(rtt, q).unwrap_or(f64::NAN)
             );
         }
         for (p, f) in points.iter().zip(cdf.iter()) {

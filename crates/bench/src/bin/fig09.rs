@@ -77,7 +77,7 @@ fn main() {
     let mut rows = Vec::new();
     for n in 1..15u16 {
         let series = r.get_series(&format!("{}{n}", keys::PDR_NODE_PREFIX));
-        let avg = stats::mean(&series).unwrap_or(1.0);
+        let avg = stats::mean(series).unwrap_or(1.0);
         println!("  node {n:>2}: {} {}", stats::bar(avg), pct(avg));
         rows.push(format!(
             "{n},{avg:.4},{}",

@@ -126,7 +126,8 @@ fn measure(args: &Args) -> Vec<Measurement> {
         Duration::from_secs(600)
     };
     let policy = IntervalPolicy::Static(Duration::from_millis(75));
-    let workloads: [(&'static str, fn() -> Topology); 2] = [
+    type Workload = (&'static str, fn() -> Topology);
+    let workloads: [Workload; 2] = [
         ("fig07-tree", Topology::paper_tree),
         ("fig07-line", Topology::paper_line),
     ];

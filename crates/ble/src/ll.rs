@@ -99,6 +99,27 @@ pub enum TimerKind {
     SendConnectInd,
 }
 
+impl TimerKind {
+    /// The connection this timer belongs to, if it is conn-scoped.
+    /// Lets the world cancel a dead connection's pending timers.
+    pub fn conn(&self) -> Option<ConnId> {
+        match *self {
+            TimerKind::EventPrep(c)
+            | TimerKind::EventStart(c)
+            | TimerKind::ListenStart(c)
+            | TimerKind::ListenEnd(c)
+            | TimerKind::ReplyWait(c)
+            | TimerKind::Continue(c)
+            | TimerKind::Supervision(c) => Some(c),
+            TimerKind::AdvEvent
+            | TimerKind::AdvStep(_)
+            | TimerKind::ScanStart
+            | TimerKind::ScanEnd
+            | TimerKind::SendConnectInd => None,
+        }
+    }
+}
+
 /// A timer with its anti-staleness generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Timer {
@@ -439,6 +460,13 @@ impl LinkLayer {
     /// The node's clock.
     pub fn clock(&self) -> Clock {
         self.clock
+    }
+
+    /// Replace the node's clock (chaos clock-drift steps). Existing
+    /// anchors keep their booked global times; only future
+    /// local→global conversions use the new rate.
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = clock;
     }
 
     /// Counters.

@@ -114,6 +114,9 @@ pub struct Statconn {
     /// Use NimBLE's literal default supervision timeout (the paper's
     /// configuration) instead of spec-scaled timeouts.
     nimble_timeout: bool,
+    /// Explicit supervision timeout overriding both derivations
+    /// (chaos fault grids sweep this knob).
+    supervision_override: Option<Duration>,
     rng: Rng,
     /// Reconnections performed (diagnostic).
     pub reconnects: u64,
@@ -148,6 +151,7 @@ impl Statconn {
             node,
             channel_map,
             nimble_timeout: true,
+            supervision_override: None,
             edges: edges
                 .iter()
                 .map(|e| EdgeState {
@@ -208,6 +212,13 @@ impl Statconn {
         self.nimble_timeout = false;
     }
 
+    /// Force a specific supervision timeout on every connection this
+    /// node initiates (must exceed the largest connection interval the
+    /// policy can draw — `ConnParams::validate` enforces it).
+    pub fn set_supervision_timeout(&mut self, timeout: Duration) {
+        self.supervision_override = Some(timeout);
+    }
+
     fn scan_action(&mut self, idx: usize) -> ScAction {
         let interval = self.draw_interval();
         self.edges[idx].interval = Some(interval);
@@ -216,6 +227,9 @@ impl Statconn {
         } else {
             ConnParams::with_interval(interval)
         };
+        if let Some(t) = self.supervision_override {
+            params.supervision_timeout = t;
+        }
         params.channel_map = self.channel_map;
         ScAction::Scan {
             peer: self.edges[idx].peer,

@@ -21,6 +21,7 @@
 use mindgap_ble::{
     ConnId, Frame, LinkLayer, ListenTag, LlConfig, LlObsEvent, LossReason, Output, Role, Timer,
 };
+use mindgap_chaos::{labels, FaultKind, FaultSchedule, FOREVER_NS};
 use mindgap_coap::{Client, Code, Message, MsgType, Server};
 use mindgap_l2cap::frame::{self as l2frame, Signal, CID_LE_SIGNALING};
 use mindgap_l2cap::{BufPool, CocChannel, CocConfig, NIMBLE_BUF_BYTES};
@@ -30,7 +31,9 @@ use mindgap_phy::{
     Channel, LossConfig, Medium, MediumConfig, RxOutcome, TxId, TxParams, BLE_JAMMED_CHANNEL,
     CHANNEL_TABLE_SIZE,
 };
-use mindgap_sim::{Clock, Duration, EventQueue, Instant, NodeId, Rng, Trace, TraceKind};
+use mindgap_sim::{
+    Clock, Duration, EventQueue, Instant, NodeId, Rng, ScheduledEvent, Trace, TraceKind,
+};
 use mindgap_sixlowpan::{iphc, LinkContext, LlAddr};
 
 use crate::records::Records;
@@ -123,6 +126,11 @@ pub struct WorldConfig {
     /// Observability timeline capacity in events (ring buffer; `0`
     /// disables timeline recording; metrics counters are unaffected).
     pub timeline_cap: usize,
+    /// Override the supervision timeout statconn requests for every
+    /// connection (`None` keeps the policy's default). Must exceed the
+    /// largest drawable connection interval; the chaos recovery
+    /// experiments sweep this knob.
+    pub supervision_timeout: Option<Duration>,
 }
 
 impl WorldConfig {
@@ -139,6 +147,7 @@ impl WorldConfig {
             dynamic_routing: false,
             record_bucket: Duration::from_secs(60),
             timeline_cap: 1 << 16,
+            supervision_timeout: None,
         }
     }
 }
@@ -148,9 +157,19 @@ enum Ev {
     LlTimer(NodeId, Timer),
     /// Carries the in-flight slab slot of the finished transmission.
     TxEnd(usize),
-    AppSend(NodeId),
+    /// Periodic producer request. Carries the node's boot epoch at
+    /// scheduling time: a crash bumps the epoch, so chains scheduled
+    /// by a previous incarnation die silently.
+    AppSend(NodeId, u32),
     CoapSweep,
-    RplTick(NodeId),
+    /// Routing-agent tick, epoch-stamped like [`Ev::AppSend`].
+    RplTick(NodeId, u32),
+    /// Inject fault `i` of the installed [`FaultSchedule`].
+    Fault(u32),
+    /// Clear (or, for crashes, reboot after) fault `i`.
+    FaultClear(u32),
+    /// Move sweeping jammer `fault` to its `step`-th channel.
+    SweepStep { fault: u32, step: u8 },
 }
 
 struct InFlight {
@@ -159,6 +178,10 @@ struct InFlight {
     frame: Frame,
     channel: Channel,
     start: Instant,
+    /// Sender's boot epoch when the frame went on air; a mismatch at
+    /// `TxEnd` means the sender crashed mid-flight and the rebuilt
+    /// link layer must not see the completion.
+    src_epoch: u32,
 }
 
 struct CocState {
@@ -241,6 +264,89 @@ pub struct World {
     pub echo_replies: Vec<(NodeId, Ipv6Addr, u16)>,
     started: bool,
     events: u64,
+    /// Retained construction inputs, so a crashed node can be rebuilt
+    /// from scratch (a reboot is "run the constructor again with
+    /// nothing remembered").
+    cfg: WorldConfig,
+    node_cfgs: Vec<NodeConfig>,
+    /// Current clock rate per node: the construction-time draw plus
+    /// any injected drift steps. Survives reboots — crystal error is
+    /// a hardware property, not state.
+    clock_ppms: Vec<f64>,
+    /// Per-node boot counter, bumped on every crash.
+    boot_epoch: Vec<u32>,
+    /// Nodes currently powered off.
+    down: Vec<bool>,
+    /// Independent RNG stream for post-crash rebuilds. Forking the
+    /// master RNG here would perturb its draw sequence and change
+    /// fault-free runs, so reboots get their own seed derivation.
+    reboot_rng: Rng,
+    /// Installed fault script plus per-fault scratch (`None` ⇒ no
+    /// chaos: the hot path carries no cost beyond this check).
+    chaos: Option<Box<ChaosState>>,
+    /// Pending LL timer tokens per node, tagged with the owning
+    /// connection (`None` = advertising/scanning timers). Lets conn
+    /// teardown and node crashes cancel dead timers at the queue
+    /// instead of leaking them into the far future.
+    ll_timers: Vec<Vec<(Option<ConnId>, ScheduledEvent)>>,
+}
+
+/// Injector state: the installed schedule plus one scratch slot per
+/// fault (previous channel interference for jammers, seized mbuf
+/// bytes for pool-pressure faults).
+struct ChaosState {
+    faults: Vec<mindgap_chaos::Fault>,
+    scratch: Vec<f64>,
+}
+
+/// The three independent RNG streams a node's stack draws from.
+struct NodeRngs {
+    ll: Rng,
+    sc: Rng,
+    node: Rng,
+}
+
+/// Build one node's full stack from its static config. Used at world
+/// construction and again on post-crash reboots, which is exactly the
+/// fault model: full LL + stack state loss.
+fn make_node(
+    cfg: &WorldConfig,
+    consumer: NodeId,
+    nc: &NodeConfig,
+    id: NodeId,
+    ppm: f64,
+    rngs: NodeRngs,
+) -> BleNode {
+    let mut stack = Ipv6Stack::new(NetConfig::for_node(id.0));
+    stack.bind_udp(COAP_PORT);
+    let rpl = if cfg.dynamic_routing {
+        stack.bind_udp(RPL_PORT);
+        Some(RplAgent::new(
+            Ipv6Addr::of_node(id.0),
+            RplConfig::new(id == consumer),
+        ))
+    } else {
+        None
+    };
+    for (dst, via) in &nc.routes {
+        stack.routing_mut().add_host(*dst, *via);
+    }
+    let mut statconn =
+        Statconn::with_channel_map(id, &nc.edges, cfg.policy, cfg.conn_channel_map, rngs.sc);
+    if let Some(t) = cfg.supervision_timeout {
+        statconn.set_supervision_timeout(t);
+    }
+    BleNode {
+        ll: LinkLayer::new(id, Clock::with_ppm(ppm), cfg.ll, rngs.ll),
+        stack,
+        statconn,
+        cocs: Vec::new(),
+        pool: BufPool::new(NIMBLE_BUF_BYTES),
+        client: Client::new(id.0),
+        server: Server::new(0x8000 | id.0),
+        rpl,
+        rng: rngs.node,
+    }
 }
 
 impl World {
@@ -257,43 +363,24 @@ impl World {
         if cfg.jam_channel_22 {
             medium.set_channel_interference(Channel::ble_data(BLE_JAMMED_CHANNEL), 0.97);
         }
+        // The RNG draw order below (drift draw, then the three forks,
+        // per node in index order) is part of the determinism
+        // contract — fault-free runs stay byte-identical to builds
+        // without the chaos subsystem.
+        let mut clock_ppms = Vec::with_capacity(n);
         let nodes = node_cfgs
-            .into_iter()
+            .iter()
             .enumerate()
             .map(|(i, nc)| {
                 let id = NodeId(i as u16);
                 let ppm = rng.range_f64(-cfg.clock_ppm_range, cfg.clock_ppm_range);
-                let mut stack = Ipv6Stack::new(NetConfig::for_node(id.0));
-                stack.bind_udp(COAP_PORT);
-                let rpl = if cfg.dynamic_routing {
-                    stack.bind_udp(RPL_PORT);
-                    Some(RplAgent::new(
-                        Ipv6Addr::of_node(id.0),
-                        RplConfig::new(id == app.consumer),
-                    ))
-                } else {
-                    None
+                clock_ppms.push(ppm);
+                let rngs = NodeRngs {
+                    ll: rng.fork(1000 + i as u64),
+                    sc: rng.fork(2000 + i as u64),
+                    node: rng.fork(3000 + i as u64),
                 };
-                for (dst, via) in nc.routes {
-                    stack.routing_mut().add_host(dst, via);
-                }
-                BleNode {
-                    ll: LinkLayer::new(id, Clock::with_ppm(ppm), cfg.ll, rng.fork(1000 + i as u64)),
-                    stack,
-                    statconn: Statconn::with_channel_map(
-                        id,
-                        &nc.edges,
-                        cfg.policy,
-                        cfg.conn_channel_map,
-                        rng.fork(2000 + i as u64),
-                    ),
-                    cocs: Vec::new(),
-                    pool: BufPool::new(NIMBLE_BUF_BYTES),
-                    client: Client::new(i as u16),
-                    server: Server::new(0x8000 | i as u16),
-                    rpl,
-                    rng: rng.fork(3000 + i as u64),
-                }
+                make_node(&cfg, app.consumer, nc, id, ppm, rngs)
             })
             .collect();
         World {
@@ -318,6 +405,14 @@ impl World {
             echo_replies: Vec::new(),
             started: false,
             events: 0,
+            clock_ppms,
+            boot_epoch: vec![0; n],
+            down: vec![false; n],
+            reboot_rng: Rng::seed_from_u64(cfg.seed ^ 0xC4A0_5BAD_F00D_0001),
+            chaos: None,
+            ll_timers: vec![Vec::new(); n],
+            cfg,
+            node_cfgs,
         }
     }
 
@@ -481,7 +576,8 @@ impl World {
                 self.app.producer_jitter.nanos(),
             );
             let at = self.queue.now() + self.app.warmup + Duration::from_nanos(jittered);
-            self.queue.schedule_at(at, Ev::AppSend(p));
+            let epoch = self.boot_epoch[p.index()];
+            self.queue.schedule_at(at, Ev::AppSend(p, epoch));
         }
         self.queue
             .schedule_in(Duration::from_secs(5), Ev::CoapSweep);
@@ -489,9 +585,10 @@ impl World {
         for i in 0..self.nodes.len() as u16 {
             if self.nodes[i as usize].rpl.is_some() {
                 let jitter = self.nodes[i as usize].rng.below(2_000_000_000);
+                let epoch = self.boot_epoch[i as usize];
                 self.queue.schedule_in(
                     Duration::from_secs(1) + Duration::from_nanos(jitter),
-                    Ev::RplTick(NodeId(i)),
+                    Ev::RplTick(NodeId(i), epoch),
                 );
             }
         }
@@ -622,7 +719,11 @@ impl World {
                 self.put_out(outs);
             }
             Ev::TxEnd(slot) => self.tx_end(now, slot),
-            Ev::AppSend(node) => self.producer_send(now, node),
+            Ev::AppSend(node, epoch) => {
+                if epoch == self.boot_epoch[node.index()] {
+                    self.producer_send(now, node);
+                }
+            }
             Ev::CoapSweep => {
                 let timeout = self.app.coap_timeout.nanos();
                 for i in 0..self.nodes.len() {
@@ -636,7 +737,14 @@ impl World {
                 }
                 self.queue.schedule_in(Duration::from_secs(5), Ev::CoapSweep);
             }
-            Ev::RplTick(node) => self.rpl_tick(now, node),
+            Ev::RplTick(node, epoch) => {
+                if epoch == self.boot_epoch[node.index()] {
+                    self.rpl_tick(now, node);
+                }
+            }
+            Ev::Fault(i) => self.inject_fault(now, i),
+            Ev::FaultClear(i) => self.clear_fault(now, i),
+            Ev::SweepStep { fault, step } => self.sweep_step(now, fault, step),
         }
     }
 
@@ -652,9 +760,10 @@ impl World {
         self.rpl_transmit(node, sends);
         // Fixed 5 s trickle base with up to 0.5 s of per-tick jitter.
         let jitter = self.nodes[node.index()].rng.below(500_000_000);
+        let epoch = self.boot_epoch[node.index()];
         self.queue.schedule_in(
             Duration::from_secs(5) + Duration::from_nanos(jitter),
-            Ev::RplTick(node),
+            Ev::RplTick(node, epoch),
         );
     }
 
@@ -742,6 +851,12 @@ impl World {
         }
         outcomes.clear();
         self.outcome_scratch = outcomes;
+        // A sender that crashed mid-flight was rebuilt with a fresh
+        // link layer (and a fresh buffer pool): the completion and the
+        // payload recycle belong to the dead incarnation.
+        if fl.src_epoch != self.boot_epoch[fl.src.index()] {
+            return;
+        }
         let mut outs = self.take_out();
         self.nodes[fl.src.index()]
             .ll
@@ -798,8 +913,11 @@ impl World {
         for o in outputs.drain(..) {
             match o {
                 Output::Arm { at, timer } => {
-                    self.queue
+                    let conn = timer.kind.conn();
+                    let tok = self
+                        .queue
                         .schedule_at(at.max(now), Ev::LlTimer(node, timer));
+                    self.track_ll_timer(node, conn, tok);
                 }
                 Output::Tx { channel, frame } => {
                     let payload_bytes = match &frame {
@@ -822,6 +940,7 @@ impl World {
                         frame,
                         channel,
                         start: now,
+                        src_epoch: self.boot_epoch[node.index()],
                     };
                     let slot = match self.free_tx.pop() {
                         Some(s) => {
@@ -957,6 +1076,11 @@ impl World {
 
     fn conn_down(&mut self, node: NodeId, conn: ConnId, peer: NodeId, reason: LossReason) {
         let now = self.queue.now();
+        // The LL forgot this connection: cancel its pending timers at
+        // the queue instead of letting them fire into nothing (they
+        // would otherwise sit until their deadline — for supervision
+        // timers, potentially seconds of dead weight per churn).
+        self.cancel_conn_timers(node, conn);
         self.trace
             .emit(now, node, TraceKind::ConnMgr, "conn_down", conn.0);
         self.obs.reg.inc(self.obs.m.ll_conn_lost, node);
@@ -1044,6 +1168,365 @@ impl World {
             self.nodes[node.index()].ll.close(conn, now, &mut outs);
             self.apply_ll(node, &mut outs);
             self.put_out(outs);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (mindgap-chaos)
+    // ------------------------------------------------------------------
+
+    /// Install a [`FaultSchedule`]: every fault becomes a regular
+    /// event at its exact simulated instant, so injection timing is
+    /// byte-reproducible regardless of host parallelism. Call before
+    /// (or during) the run; faults whose time already passed fire
+    /// immediately. Panics on an invalid schedule or if one is
+    /// already installed.
+    pub fn install_faults(&mut self, schedule: &FaultSchedule) {
+        if schedule.is_empty() {
+            return;
+        }
+        if let Err(e) = schedule.validate(self.nodes.len()) {
+            panic!("invalid fault schedule: {e}");
+        }
+        assert!(self.chaos.is_none(), "a fault schedule is already installed");
+        let faults = schedule.faults.clone();
+        let now = self.queue.now();
+        for (i, f) in faults.iter().enumerate() {
+            let at = Instant::ZERO + Duration::from_nanos(f.at_ns);
+            self.queue.schedule_at(at.max(now), Ev::Fault(i as u32));
+        }
+        self.chaos = Some(Box::new(ChaosState {
+            scratch: vec![0.0; faults.len()],
+            faults,
+        }));
+    }
+
+    /// Whether a node is currently crashed (radio-silent, all state
+    /// lost, waiting for its scheduled reboot).
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.index()]
+    }
+
+    /// Test probe: tracked, still-pending LL timers bound to `conn`.
+    /// After a connection dies this must drop to zero — a positive
+    /// count is the timer leak the teardown path used to have.
+    #[doc(hidden)]
+    pub fn live_conn_timers(&self, conn: ConnId) -> usize {
+        self.ll_timers
+            .iter()
+            .flatten()
+            .filter(|(c, tok)| *c == Some(conn) && self.queue.token_is_live(*tok))
+            .count()
+    }
+
+    /// Remember a pending LL timer so teardown can cancel it. The
+    /// list self-prunes dead tokens once it grows past the working
+    /// set, keeping it bounded by the node's genuinely live timers.
+    fn track_ll_timer(&mut self, node: NodeId, conn: Option<ConnId>, tok: ScheduledEvent) {
+        let World {
+            ll_timers, queue, ..
+        } = &mut *self;
+        let list = &mut ll_timers[node.index()];
+        if list.len() >= 32 {
+            list.retain(|&(_, t)| queue.token_is_live(t));
+        }
+        list.push((conn, tok));
+    }
+
+    /// Cancel every tracked timer of `conn` on `node` (and drop any
+    /// stale entries encountered along the way).
+    fn cancel_conn_timers(&mut self, node: NodeId, conn: ConnId) {
+        let World {
+            ll_timers, queue, ..
+        } = &mut *self;
+        ll_timers[node.index()].retain(|&(c, tok)| {
+            if c == Some(conn) {
+                queue.cancel(tok);
+                return false;
+            }
+            queue.token_is_live(tok)
+        });
+    }
+
+    /// Record a fault marker on the timeline (the ground truth the
+    /// recovery analysis keys off).
+    fn record_fault(&mut self, now: Instant, node: NodeId, label: &'static str, a: u64, b: u64) {
+        self.obs.timeline.record(now, node, Span::Fault { label, a, b });
+        self.trace.emit(now, node, TraceKind::ConnMgr, label, a);
+    }
+
+    /// Schedule the clearing event unless the fault is permanent.
+    fn schedule_clear(&mut self, now: Instant, idx: u32, lasts: Duration) {
+        if lasts.nanos() < FOREVER_NS {
+            self.queue.schedule_at(now + lasts, Ev::FaultClear(idx));
+        }
+    }
+
+    fn inject_fault(&mut self, now: Instant, idx: u32) {
+        let Some(chaos) = self.chaos.as_ref() else {
+            return;
+        };
+        let fault = chaos.faults[idx as usize];
+        match fault.kind {
+            FaultKind::NodeCrash { node, down_for } => {
+                let id = NodeId(node);
+                self.record_fault(
+                    now,
+                    id,
+                    labels::NODE_CRASH,
+                    node as u64,
+                    down_for.nanos().min(FOREVER_NS),
+                );
+                self.crash_node(id);
+                self.schedule_clear(now, idx, down_for);
+            }
+            FaultKind::LinkBlackout { a, b, lasts } => {
+                self.record_fault(now, NodeId(a), labels::LINK_BLACKOUT, a as u64, b as u64);
+                self.medium.set_out_of_range(NodeId(a), NodeId(b), true);
+                self.schedule_clear(now, idx, lasts);
+            }
+            FaultKind::PerRamp { a, b, per, lasts } => {
+                self.record_fault(now, NodeId(a), labels::PER_RAMP, a as u64, b as u64);
+                self.medium.set_link_loss(NodeId(a), NodeId(b), per, true);
+                self.schedule_clear(now, idx, lasts);
+            }
+            FaultKind::JammerBurst { channel, per, lasts } => {
+                let ch = Channel::ble_data(channel);
+                let prev = self.medium.channel_interference(ch);
+                self.chaos.as_mut().expect("checked above").scratch[idx as usize] = prev;
+                self.record_fault(
+                    now,
+                    NodeId(mindgap_chaos::recovery::NO_NODE),
+                    labels::JAMMER_BURST,
+                    channel as u64,
+                    u64::MAX,
+                );
+                self.medium.set_channel_interference(ch, per);
+                self.schedule_clear(now, idx, lasts);
+            }
+            FaultKind::JammerSweep {
+                first_channel,
+                per,
+                dwell,
+                ..
+            } => {
+                let ch = Channel::ble_data(first_channel);
+                let prev = self.medium.channel_interference(ch);
+                self.chaos.as_mut().expect("checked above").scratch[idx as usize] = prev;
+                self.record_fault(
+                    now,
+                    NodeId(mindgap_chaos::recovery::NO_NODE),
+                    labels::JAMMER_SWEEP,
+                    first_channel as u64,
+                    u64::MAX,
+                );
+                self.medium.set_channel_interference(ch, per);
+                self.queue
+                    .schedule_at(now + dwell, Ev::SweepStep { fault: idx, step: 1 });
+            }
+            FaultKind::ClockDrift { node, delta_ppm } => {
+                self.record_fault(now, NodeId(node), labels::CLOCK_DRIFT, node as u64, u64::MAX);
+                let i = node as usize;
+                // Clock::with_ppm rejects |ppm| ≥ 10_000; repeated
+                // drift steps saturate just below that.
+                self.clock_ppms[i] = (self.clock_ppms[i] + delta_ppm).clamp(-9_999.0, 9_999.0);
+                let clock = Clock::with_ppm(self.clock_ppms[i]);
+                self.nodes[i].ll.set_clock(clock);
+            }
+            FaultKind::MbufPressure { node, bytes, lasts } => {
+                self.record_fault(
+                    now,
+                    NodeId(node),
+                    labels::MBUF_PRESSURE,
+                    node as u64,
+                    bytes as u64,
+                );
+                let seized = self.nodes[node as usize].pool.seize(bytes as usize);
+                self.chaos.as_mut().expect("checked above").scratch[idx as usize] = seized as f64;
+                self.schedule_clear(now, idx, lasts);
+            }
+        }
+    }
+
+    fn clear_fault(&mut self, now: Instant, idx: u32) {
+        let Some(chaos) = self.chaos.as_ref() else {
+            return;
+        };
+        let fault = chaos.faults[idx as usize];
+        match fault.kind {
+            FaultKind::NodeCrash { node, .. } => self.reboot_node(now, NodeId(node)),
+            FaultKind::LinkBlackout { a, b, .. } => {
+                self.record_fault(now, NodeId(a), labels::LINK_RESTORE, a as u64, b as u64);
+                self.medium.set_in_range(NodeId(a), NodeId(b), true);
+            }
+            FaultKind::PerRamp { a, b, .. } => {
+                self.record_fault(now, NodeId(a), labels::PER_CLEAR, a as u64, b as u64);
+                self.medium.set_link_loss(NodeId(a), NodeId(b), 0.0, true);
+            }
+            FaultKind::JammerBurst { channel, .. } => {
+                let prev = chaos.scratch[idx as usize];
+                self.record_fault(
+                    now,
+                    NodeId(mindgap_chaos::recovery::NO_NODE),
+                    labels::JAMMER_CLEAR,
+                    channel as u64,
+                    u64::MAX,
+                );
+                self.medium
+                    .set_channel_interference(Channel::ble_data(channel), prev);
+            }
+            // Sweeps end via their last SweepStep; drifts are
+            // permanent steps — neither schedules a clear.
+            FaultKind::JammerSweep { .. } | FaultKind::ClockDrift { .. } => {}
+            FaultKind::MbufPressure { node, .. } => {
+                let seized = chaos.scratch[idx as usize] as usize;
+                self.chaos.as_mut().expect("checked above").scratch[idx as usize] = 0.0;
+                self.record_fault(
+                    now,
+                    NodeId(node),
+                    labels::MBUF_RELEASE,
+                    node as u64,
+                    seized as u64,
+                );
+                // A crash while the pressure was active rebuilt the
+                // pool and zeroed the scratch: nothing to release.
+                if seized > 0 {
+                    self.nodes[node as usize].pool.release(seized);
+                }
+            }
+        }
+    }
+
+    /// Advance a sweeping jammer: restore the channel it just left,
+    /// jam the next one (or finish).
+    fn sweep_step(&mut self, now: Instant, idx: u32, step: u8) {
+        let Some(chaos) = self.chaos.as_ref() else {
+            return;
+        };
+        let FaultKind::JammerSweep {
+            first_channel,
+            channels,
+            per,
+            dwell,
+        } = chaos.faults[idx as usize].kind
+        else {
+            return;
+        };
+        let prev_per = chaos.scratch[idx as usize];
+        self.medium
+            .set_channel_interference(Channel::ble_data(first_channel + step - 1), prev_per);
+        if step < channels {
+            let ch = Channel::ble_data(first_channel + step);
+            self.chaos.as_mut().expect("checked above").scratch[idx as usize] =
+                self.medium.channel_interference(ch);
+            self.medium.set_channel_interference(ch, per);
+            self.record_fault(
+                now,
+                NodeId(mindgap_chaos::recovery::NO_NODE),
+                labels::SWEEP_STEP,
+                (first_channel + step) as u64,
+                u64::MAX,
+            );
+            self.queue.schedule_at(
+                now + dwell,
+                Ev::SweepStep {
+                    fault: idx,
+                    step: step + 1,
+                },
+            );
+        } else {
+            self.record_fault(
+                now,
+                NodeId(mindgap_chaos::recovery::NO_NODE),
+                labels::JAMMER_CLEAR,
+                (first_channel + step - 1) as u64,
+                u64::MAX,
+            );
+        }
+    }
+
+    /// Power-fail a node: all LL, L2CAP, stack, CoAP and statconn
+    /// state is lost instantly. Peers only find out the BLE way —
+    /// their supervision timeout expires. The node stays radio-silent
+    /// until [`World::reboot_node`] runs.
+    fn crash_node(&mut self, id: NodeId) {
+        let i = id.index();
+        assert!(!self.down[i], "node {} crashed while already down", id.0);
+        // Cancel every pending LL timer: the rebuilt link layer
+        // restarts its generation counters at zero, so a stale queued
+        // timer could masquerade as a fresh one.
+        {
+            let World {
+                ll_timers, queue, ..
+            } = &mut *self;
+            for (_, tok) in ll_timers[i].drain(..) {
+                queue.cancel(tok);
+            }
+        }
+        if let Some((_, ch, _, _)) = self.listening[i] {
+            self.index_listen_off(id, ch);
+            self.listening[i] = None;
+        }
+        self.down[i] = true;
+        self.boot_epoch[i] = self.boot_epoch[i].wrapping_add(1);
+        // Any mbuf bytes a pressure fault seized lived in the pool
+        // that just died with the node.
+        if let Some(chaos) = self.chaos.as_mut() {
+            for (k, f) in chaos.faults.iter().enumerate() {
+                if let FaultKind::MbufPressure { node, .. } = f.kind {
+                    if node == id.0 {
+                        chaos.scratch[k] = 0.0;
+                    }
+                }
+            }
+        }
+        // Rebuild the node from its static config. RNG streams come
+        // from the dedicated reboot stream so fault-free runs are
+        // untouched; draws happen in event order, hence exactly
+        // reproducible.
+        let mut r = self.reboot_rng.fork(id.0 as u64);
+        let rngs = NodeRngs {
+            ll: r.fork(1),
+            sc: r.fork(2),
+            node: r.fork(3),
+        };
+        self.nodes[i] = make_node(
+            &self.cfg,
+            self.app.consumer,
+            &self.node_cfgs[i],
+            id,
+            self.clock_ppms[i],
+            rngs,
+        );
+    }
+
+    /// Power the node back on: statconn starts from scratch
+    /// (advertise + scan its configured edges) and the periodic
+    /// drivers restart with fresh jitter.
+    fn reboot_node(&mut self, now: Instant, id: NodeId) {
+        let i = id.index();
+        debug_assert!(self.down[i], "reboot of a node that is not down");
+        self.down[i] = false;
+        self.record_fault(now, id, labels::NODE_REBOOT, id.0 as u64, u64::MAX);
+        let actions = self.nodes[i].statconn.start();
+        self.apply_sc_actions(id, actions);
+        let epoch = self.boot_epoch[i];
+        if self.app.producers.contains(&id) {
+            let jittered = self.nodes[i].rng.jittered_nanos(
+                self.app.producer_interval.nanos(),
+                self.app.producer_jitter.nanos(),
+            );
+            // Honour the global warmup gate if the reboot lands
+            // inside it (fault schedules usually don't).
+            let at = (now + Duration::from_nanos(jittered)).max(Instant::ZERO + self.app.warmup);
+            self.queue.schedule_at(at, Ev::AppSend(id, epoch));
+        }
+        if self.nodes[i].rpl.is_some() {
+            let jitter = self.nodes[i].rng.below(2_000_000_000);
+            self.queue.schedule_at(
+                now + Duration::from_secs(1) + Duration::from_nanos(jitter),
+                Ev::RplTick(id, epoch),
+            );
         }
     }
 
@@ -1379,7 +1862,8 @@ impl World {
             self.app.producer_interval.nanos(),
             self.app.producer_jitter.nanos(),
         );
+        let epoch = self.boot_epoch[node.index()];
         self.queue
-            .schedule_at(now + Duration::from_nanos(jittered), Ev::AppSend(node));
+            .schedule_at(now + Duration::from_nanos(jittered), Ev::AppSend(node, epoch));
     }
 }

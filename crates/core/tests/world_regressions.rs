@@ -85,6 +85,44 @@ fn mbuf_pool_does_not_leak_across_connection_churn() {
     );
 }
 
+/// Regression: link-layer timers must die with their connection.
+/// Teardown once left armed timers queued after `conn_down` — the
+/// supervision timer in particular sits up to seconds in the future,
+/// so every churned connection parked a dead event in the queue, and
+/// a node rebuilt after a crash (whose fresh LL restarts generation
+/// counters) could mistake a stale timer for its own.
+#[test]
+fn connection_teardown_cancels_pending_timers() {
+    use mindgap_ble::ConnId;
+    let mut w = line3(19);
+    w.run_until(Instant::from_secs(30));
+    // Sever the middle link and run just past the supervision
+    // timeout: the dead connection's timers would still be pending
+    // here if teardown leaked them.
+    w.break_link(NodeId(1), NodeId(2));
+    w.run_until(Instant::from_secs(40));
+    assert!(!w.records().conn_losses.is_empty(), "link break must kill the conn");
+    // More churn: reconnect attempts mint fresh conn ids that fail
+    // and tear down repeatedly while the link stays dark.
+    w.run_until(Instant::from_secs(80));
+    let live: std::collections::HashSet<u64> = (0..3u16)
+        .flat_map(|n| {
+            w.conn_stats_of(NodeId(n))
+                .into_iter()
+                .map(|(c, _, _, _)| c.0)
+        })
+        .collect();
+    for c in 1..200u64 {
+        if !live.contains(&c) {
+            assert_eq!(
+                w.live_conn_timers(ConnId(c)),
+                0,
+                "dead conn {c} still owns pending timers — teardown leak"
+            );
+        }
+    }
+}
+
 /// Regression: ARQ sequence numbers must survive empty keep-alives.
 /// An early revision put fresh data on an unacknowledged empty PDU's
 /// sequence number; under loss, one packet per ~10 000 silently

@@ -337,12 +337,12 @@ impl MetricsRegistry {
                 MetricKind::Histogram => {
                     let mut buckets = [0u64; HIST_BUCKETS];
                     let mut per_node_count = vec![0u64; self.n_nodes];
-                    for n in 0..self.n_nodes {
+                    for (n, count) in per_node_count.iter_mut().enumerate() {
                         let off = (base + n) * HIST_BUCKETS;
                         for (b, slot) in buckets.iter_mut().enumerate() {
                             let c = self.hist_buckets[off + b];
                             *slot += c;
-                            per_node_count[n] += c;
+                            *count += c;
                         }
                     }
                     SnapValue::Histogram {

@@ -101,6 +101,19 @@ pub enum Span {
         /// Connection handle.
         conn: u64,
     },
+    /// A scripted fault was injected (or cleared) by the chaos engine.
+    /// The label is the full kind string ("fault_node_crash",
+    /// "fault_link_restore", …) so exports need no extra column; the
+    /// two payloads carry the fault's primary numbers (node / link
+    /// ends / channel, duration — see DESIGN.md §9).
+    Fault {
+        /// Fault-kind label, `fault_`-prefixed.
+        label: &'static str,
+        /// First numeric payload (`u64::MAX` when unused).
+        a: u64,
+        /// Second numeric payload (`u64::MAX` when unused).
+        b: u64,
+    },
 }
 
 impl Span {
@@ -116,6 +129,7 @@ impl Span {
             Span::CreditStall { .. } => "credit_stall",
             Span::RplParentSwitch { .. } => "rpl_parent_switch",
             Span::MbufExhausted { .. } => "mbuf_exhausted",
+            Span::Fault { label, .. } => label,
         }
     }
 }
@@ -245,6 +259,11 @@ impl Timeline {
                     (None, Some(old as u64), Some(new as u64))
                 }
                 Span::MbufExhausted { conn } => (Some(conn), None, None),
+                Span::Fault { a, b, .. } => (
+                    None,
+                    (a != u64::MAX).then_some(a),
+                    (b != u64::MAX).then_some(b),
+                ),
             };
             s.push_str(&format!(
                 "{},{},{},{},{},{}\n",
@@ -308,6 +327,7 @@ fn push_jsonl(s: &mut String, ev: &TimelineEvent) {
             write!(s, ",\"old\":{old},\"new\":{new}")
         }
         Span::MbufExhausted { conn } => write!(s, ",\"conn\":{conn}"),
+        Span::Fault { a, b, .. } => write!(s, ",\"a\":{a},\"b\":{b}"),
     };
     s.push_str("}\n");
 }
@@ -353,6 +373,29 @@ mod tests {
         assert!(tl.is_empty());
         assert!(!tl.enabled());
         assert_eq!(tl.to_jsonl(), "");
+    }
+
+    #[test]
+    fn fault_span_exports_label_and_payloads() {
+        let mut tl = Timeline::new(4);
+        tl.record(
+            at(9),
+            NodeId(3),
+            Span::Fault {
+                label: "fault_node_crash",
+                a: 3,
+                b: 10_000_000_000,
+            },
+        );
+        if cfg!(feature = "off") {
+            return;
+        }
+        assert_eq!(
+            tl.to_jsonl(),
+            "{\"t_ns\":9000000,\"node\":3,\"kind\":\"fault_node_crash\",\"a\":3,\"b\":10000000000}\n"
+        );
+        let csv = tl.to_csv();
+        assert!(csv.ends_with("9000000,3,fault_node_crash,,3,10000000000\n"), "{csv}");
     }
 
     #[test]

@@ -143,6 +143,10 @@ pub struct NoiseModel {
     /// Additional independent loss probability per channel
     /// (e.g. jammed BLE channel 22 → ≈ 0.97).
     channel_extra: [f64; CHANNEL_TABLE_SIZE],
+    /// Additional independent loss probability per directed link,
+    /// channel-agnostic. All zero by default; the chaos engine uses it
+    /// for scripted PER ramps (1.0 = blackout). Indexed `src*n + dst`.
+    link_extra: Vec<f64>,
 }
 
 impl NoiseModel {
@@ -156,7 +160,21 @@ impl NoiseModel {
                 .collect(),
             n_nodes,
             channel_extra: [0.0; CHANNEL_TABLE_SIZE],
+            link_extra: vec![0.0; n_nodes * n_nodes],
         }
+    }
+
+    /// Set an additional static loss probability on one directed link
+    /// (on top of the Gilbert–Elliott chain; `1.0` blacks it out).
+    pub fn set_link_extra(&mut self, src: usize, dst: usize, per: f64) {
+        assert!((0.0..=1.0).contains(&per), "per {per} out of [0,1]");
+        debug_assert!(src < self.n_nodes && dst < self.n_nodes);
+        self.link_extra[src * self.n_nodes + dst] = per;
+    }
+
+    /// Static loss probability configured on a directed link.
+    pub fn link_extra(&self, src: usize, dst: usize) -> f64 {
+        self.link_extra[src * self.n_nodes + dst]
     }
 
     /// Set an additional static loss probability on one channel.
@@ -182,6 +200,12 @@ impl NoiseModel {
         debug_assert!(src < self.n_nodes && dst < self.n_nodes);
         let chain = &mut self.link_chains[src * self.n_nodes + dst];
         if chain.frame_lost(rng) {
+            return true;
+        }
+        // Both overrides draw only when active, so installing none
+        // keeps the RNG draw sequence identical to a run without them.
+        let link = self.link_extra[src * self.n_nodes + dst];
+        if link > 0.0 && rng.chance(link) {
             return true;
         }
         let extra = self.channel_extra[channel.table_index()];
@@ -267,6 +291,18 @@ mod tests {
             .count();
         assert!(jam_lost > 9_500, "jammed channel only lost {jam_lost}");
         assert_eq!(clean_lost, 0);
+    }
+
+    #[test]
+    fn link_extra_overrides_one_direction() {
+        let mut nm = NoiseModel::uniform(2, LossConfig::LOSSLESS);
+        nm.set_link_extra(0, 1, 1.0);
+        let mut rng = Rng::seed_from_u64(6);
+        assert!((0..100).all(|_| nm.frame_lost(0, 1, Channel::ble_data(5), &mut rng)));
+        assert!((0..100).all(|_| !nm.frame_lost(1, 0, Channel::ble_data(5), &mut rng)));
+        assert_eq!(nm.link_extra(0, 1), 1.0);
+        nm.set_link_extra(0, 1, 0.0);
+        assert!((0..100).all(|_| !nm.frame_lost(0, 1, Channel::ble_data(5), &mut rng)));
     }
 
     #[test]

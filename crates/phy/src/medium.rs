@@ -117,6 +117,26 @@ impl Medium {
         self.noise.set_channel_extra(channel, per);
     }
 
+    /// Static loss probability currently configured on a channel.
+    pub fn channel_interference(&self, channel: Channel) -> f64 {
+        self.noise.channel_extra(channel)
+    }
+
+    /// Additional static loss probability on the directed link `a → b`
+    /// (and `b → a` if `symmetric`), on top of the Gilbert–Elliott
+    /// chain. `1.0` blacks the link out; `0.0` removes the override.
+    pub fn set_link_loss(&mut self, a: NodeId, b: NodeId, per: f64, symmetric: bool) {
+        self.noise.set_link_extra(a.index(), b.index(), per);
+        if symmetric {
+            self.noise.set_link_extra(b.index(), a.index(), per);
+        }
+    }
+
+    /// Static loss override currently configured on `a → b`.
+    pub fn link_loss(&self, a: NodeId, b: NodeId) -> f64 {
+        self.noise.link_extra(a.index(), b.index())
+    }
+
     /// Mark the directed pair `a → b` (and `b → a` if `symmetric`) as
     /// out of radio range.
     pub fn set_out_of_range(&mut self, a: NodeId, b: NodeId, symmetric: bool) {

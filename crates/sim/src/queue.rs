@@ -296,6 +296,14 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// `true` if the token still refers to a pending (not yet fired,
+    /// not cancelled) event. Lets callers that retain tokens for later
+    /// cancellation prune their bookkeeping without popping anything.
+    #[inline]
+    pub fn token_is_live(&self, token: ScheduledEvent) -> bool {
+        self.slots.get(token.slot as usize).copied() == Some(token.gen)
+    }
 }
 
 #[cfg(test)]
@@ -395,6 +403,18 @@ mod tests {
         let _ = replacement;
         assert_eq!(q.pop().map(|(_, e)| e), Some("alive"));
         assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+    }
+
+    #[test]
+    fn token_liveness_tracks_fire_and_cancel() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Instant::from_millis(1), "a");
+        let b = q.schedule_at(Instant::from_millis(2), "b");
+        assert!(q.token_is_live(a) && q.token_is_live(b));
+        q.cancel(a);
+        assert!(!q.token_is_live(a));
+        assert!(q.pop().is_some());
+        assert!(!q.token_is_live(b), "fired token must read as dead");
     }
 
     #[test]

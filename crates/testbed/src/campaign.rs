@@ -43,6 +43,25 @@ pub mod keys {
     /// glossary in DESIGN.md §8). Histograms contribute
     /// `obs.<metric>.count` and `obs.<metric>.mean`.
     pub const OBS_PREFIX: &str = "obs.";
+    /// Injected faults in the run (chaos runs only; see
+    /// `mindgap-chaos` and DESIGN.md §9).
+    pub const CHAOS_FAULTS: &str = "chaos.faults";
+    /// Faults whose loss was detected (supervision timeout fired).
+    pub const CHAOS_DETECTED: &str = "chaos.detected";
+    /// Faults whose connection re-formed after detection.
+    pub const CHAOS_RECONNECTED: &str = "chaos.reconnected";
+    /// Per-fault time-to-detect in seconds, undetected omitted
+    /// (series).
+    pub const CHAOS_TTD_S: &str = "chaos.ttd_s";
+    /// Per-fault time-to-reconnect in seconds, unrecovered omitted
+    /// (series).
+    pub const CHAOS_TTR_S: &str = "chaos.ttr_s";
+    /// Per-fault time-to-RPL-repair in seconds (series; empty without
+    /// dynamic routing).
+    pub const CHAOS_TTRPL_S: &str = "chaos.ttrpl_s";
+    /// Per-fault mbuf-exhaustion drops inside the fault window
+    /// (series, one entry per fault).
+    pub const CHAOS_PKTS_LOST: &str = "chaos.pkts_lost";
 }
 
 /// Flatten an experiment result into a campaign artifact.
@@ -67,6 +86,26 @@ pub fn to_job_result(res: &ExperimentResult, per_node_series: &[u16]) -> JobResu
     }
     for (name, value) in res.metrics.flat(keys::OBS_PREFIX) {
         out.metric(&name, value);
+    }
+    if !res.recovery.is_empty() {
+        use mindgap_chaos::recovery;
+        let rec = &res.recovery;
+        out.metric(keys::CHAOS_FAULTS, rec.len() as f64)
+            .metric(
+                keys::CHAOS_DETECTED,
+                rec.iter().filter(|f| f.detect_ns.is_some()).count() as f64,
+            )
+            .metric(
+                keys::CHAOS_RECONNECTED,
+                rec.iter().filter(|f| f.reconnect_ns.is_some()).count() as f64,
+            );
+        out.series(keys::CHAOS_TTD_S, recovery::detect_secs(rec))
+            .series(keys::CHAOS_TTR_S, recovery::reconnect_secs(rec))
+            .series(keys::CHAOS_TTRPL_S, recovery::rpl_repair_secs(rec))
+            .series(
+                keys::CHAOS_PKTS_LOST,
+                rec.iter().map(|f| f.pkts_lost as f64).collect(),
+            );
     }
     out.series(keys::RTT_S, r.rtt_sorted_secs())
         .series(keys::PDR_SERIES, r.coap_pdr_series());

@@ -6,6 +6,8 @@
 //! network form during the warmup, then measure for the configured
 //! duration and return an [`ExperimentResult`].
 
+use mindgap_chaos::recovery::FaultRecovery;
+use mindgap_chaos::FaultSchedule;
 use mindgap_core::{
     AppConfig, IeeeConfig, IeeeWorld, IntervalPolicy, Records, World, WorldConfig,
 };
@@ -36,6 +38,13 @@ pub struct ExperimentSpec {
     /// Timeline ring capacity in events (0 disables span recording;
     /// metrics counters are unaffected). BLE only.
     pub timeline_cap: usize,
+    /// Scripted faults to inject (BLE only; see `mindgap-chaos`).
+    /// `None` runs fault-free with zero chaos overhead.
+    pub faults: Option<FaultSchedule>,
+    /// Override the supervision timeout statconn requests (BLE only;
+    /// `None` keeps the policy default). Must exceed the largest
+    /// drawable connection interval.
+    pub supervision_timeout: Option<Duration>,
 }
 
 impl ExperimentSpec {
@@ -52,6 +61,8 @@ impl ExperimentSpec {
             seed,
             clock_ppm_range: 3.0,
             timeline_cap: 1 << 16,
+            faults: None,
+            supervision_timeout: None,
         }
     }
 
@@ -85,6 +96,18 @@ impl ExperimentSpec {
         self.producer_jitter = interval / 2;
         self
     }
+
+    /// Install a fault schedule (BLE only).
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Override the supervision timeout (BLE only).
+    pub fn with_supervision_timeout(mut self, timeout: Duration) -> Self {
+        self.supervision_timeout = Some(timeout);
+        self
+    }
 }
 
 /// Everything a figure needs from one run.
@@ -116,6 +139,10 @@ pub struct ExperimentResult {
     /// extraction. Empty for IEEE runs, when `timeline_cap` is 0, and
     /// under `obs-off`.
     pub timeline: mindgap_obs::Timeline,
+    /// Per-fault recovery metrics derived from the timeline (empty
+    /// without a fault schedule, for IEEE runs, when `timeline_cap`
+    /// is 0, and under `obs-off`).
+    pub recovery: Vec<FaultRecovery>,
     /// Label for tables ("tree static 75ms" …).
     pub label: String,
 }
@@ -131,7 +158,11 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     let mut cfg = WorldConfig::paper_default(spec.seed, spec.policy);
     cfg.clock_ppm_range = spec.clock_ppm_range;
     cfg.timeline_cap = spec.timeline_cap;
+    cfg.supervision_timeout = spec.supervision_timeout;
     let mut world = World::new(cfg, spec.topology.node_configs(), app);
+    if let Some(faults) = &spec.faults {
+        world.install_faults(faults);
+    }
     // Formation phase.
     world.run_until(Instant::ZERO + spec.warmup);
     world.reset_records();
@@ -157,6 +188,7 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     let events_processed = world.events_processed();
     let metrics = world.obs_snapshot();
     let timeline = std::mem::take(&mut world.obs.timeline);
+    let recovery = mindgap_chaos::recovery::analyze(&timeline);
     let records = world.into_records();
     let conn_losses = records.conn_losses.len();
     ExperimentResult {
@@ -168,6 +200,7 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
         events_processed,
         metrics,
         timeline,
+        recovery,
         label,
         records,
     }
@@ -213,6 +246,7 @@ pub fn run_ieee(spec: &ExperimentSpec) -> ExperimentResult {
         events_processed,
         metrics: mindgap_obs::MetricsSnapshot::default(),
         timeline: mindgap_obs::Timeline::default(),
+        recovery: Vec::new(),
         label,
         records,
     }
@@ -237,6 +271,36 @@ mod tests {
             "tree PDR {}",
             res.records.coap_pdr()
         );
+    }
+
+    #[test]
+    fn crash_fault_is_detected_and_recovered() {
+        if !mindgap_obs::enabled() {
+            return;
+        }
+        let faults = mindgap_chaos::FaultSchedule::new()
+            // Crash the middle relay for 5 s, one minute in.
+            .node_crash(Duration::from_secs(60), 1, Duration::from_secs(5));
+        let spec = ExperimentSpec::paper_default(
+            Topology::line(3),
+            IntervalPolicy::Static(Duration::from_millis(75)),
+            42,
+        )
+        .with_duration(Duration::from_secs(120))
+        .with_faults(faults);
+        let res = run_ble(&spec);
+        assert_eq!(res.recovery.len(), 1, "one injected fault, one record");
+        let r = res.recovery[0];
+        assert_eq!(r.label, mindgap_chaos::labels::NODE_CRASH);
+        assert_eq!(r.node, 1);
+        // Detection is the peer's supervision timeout: strictly after
+        // the crash, well under a minute.
+        let detect = r.detect_ns.expect("crash must be detected");
+        assert!(detect > 0 && detect < 60_000_000_000, "detect {detect} ns");
+        // The node reboots after 5 s; statconn re-forms the edges.
+        let reconnect = r.reconnect_ns.expect("crash must be recovered");
+        assert!(reconnect > detect, "reconnect after detect");
+        assert!(reconnect < 120_000_000_000, "reconnect {reconnect} ns");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | [`obs`] | `mindgap-obs` | layered metrics registry, span timeline, shading detection |
 //! | [`testbed`] | `mindgap-testbed` | topologies, runner, analysis, stats |
 //! | [`campaign`] | `mindgap-campaign` | parallel experiment campaigns, resumable artifacts |
+//! | [`chaos`] | `mindgap-chaos` | scripted fault injection, recovery-latency analysis |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 
 pub use mindgap_ble as ble;
 pub use mindgap_campaign as campaign;
+pub use mindgap_chaos as chaos;
 pub use mindgap_coap as coap;
 pub use mindgap_core as core;
 pub use mindgap_dot15d4 as dot15d4;

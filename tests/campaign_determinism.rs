@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mindgap_campaign::{GridBuilder, RunConfig};
@@ -55,7 +55,7 @@ fn run_job(job: &mindgap_campaign::Job) -> mindgap_campaign::JobResult {
 }
 
 /// Read every job artifact of a campaign directory as raw bytes.
-fn artifact_bytes(root: &PathBuf) -> BTreeMap<String, Vec<u8>> {
+fn artifact_bytes(root: &Path) -> BTreeMap<String, Vec<u8>> {
     let jobs = root.join("it-det").join("jobs");
     let mut out = BTreeMap::new();
     for entry in fs::read_dir(&jobs).expect("jobs dir") {
@@ -100,8 +100,8 @@ fn artifacts_identical_across_worker_counts_and_resume_skips() {
 }
 
 /// Regression guard for the zero-allocation hot path: short
-/// figure-07/figure-15-shaped workloads (tree + line topology, static
-/// + randomized connection intervals) must produce byte-identical
+/// figure-07/figure-15-shaped workloads (tree and line topology,
+/// static and randomized connection intervals) must produce byte-identical
 /// artifacts across two independent runs at the same seed. The buffer
 /// pool, the scratch-output reuse, the indexed `tx_end` slab, and the
 /// slot-stamped event queue all recycle state between events — any
@@ -154,8 +154,76 @@ fn figure_workloads_are_bytewise_reproducible() {
 }
 
 /// Like [`artifact_bytes`] but for the figure-shaped campaign name.
-fn figure_artifact_bytes(root: &PathBuf) -> BTreeMap<String, Vec<u8>> {
+fn figure_artifact_bytes(root: &Path) -> BTreeMap<String, Vec<u8>> {
     let jobs = root.join("fig-shape").join("jobs");
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(&jobs).expect("jobs dir") {
+        let path = entry.unwrap().path();
+        out.insert(
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            fs::read(&path).unwrap(),
+        );
+    }
+    out
+}
+
+/// Chaos runs are part of the worker-count-independence contract: a
+/// scripted crash/reboot rebuilds an entire node mid-run from the
+/// dedicated reboot RNG stream, and the recovery series land in the
+/// artifact — all byte-identical whether the pool runs 1 or 4 jobs
+/// in parallel.
+#[test]
+fn chaos_artifacts_identical_across_worker_counts() {
+    use mindgap::chaos::FaultSchedule;
+    let grid = || {
+        GridBuilder::new("chaos-det", 42)
+            .axis("sup_ms", ["500", "2000"].iter().map(|s| s.to_string()))
+            .explicit_seeds(&[42, 43])
+            .build()
+    };
+    let body = |job: &mindgap_campaign::Job| {
+        let sup: u64 = job.params["sup_ms"].parse().unwrap();
+        let faults = FaultSchedule::new()
+            .node_crash(Duration::from_secs(40), 1, Duration::from_secs(5))
+            .node_crash(Duration::from_secs(60), 2, Duration::from_secs(5));
+        let spec = ExperimentSpec::paper_default(
+            Topology::paper_line(),
+            IntervalPolicy::Static(Duration::from_millis(75)),
+            job.seed,
+        )
+        .with_duration(Duration::from_secs(50))
+        .with_supervision_timeout(Duration::from_millis(sup))
+        .with_faults(faults);
+        to_job_result(&run_ble(&spec), &[])
+    };
+    let root1 = scratch("chaos-w1");
+    let root4 = scratch("chaos-w4");
+    let report1 = mindgap_campaign::run(&grid(), &quiet(root1.clone(), 1), body);
+    let report4 = mindgap_campaign::run(&grid(), &quiet(root4.clone(), 4), body);
+    assert!(report1.failures().is_empty(), "{:?}", report1.failures());
+    assert!(report4.failures().is_empty());
+    let bytes1 = named_artifact_bytes(&root1, "chaos-det");
+    let bytes4 = named_artifact_bytes(&root4, "chaos-det");
+    assert_eq!(bytes1.len(), 4);
+    assert_eq!(
+        bytes1, bytes4,
+        "chaos artifacts must not depend on worker count"
+    );
+    if mindgap::obs::enabled() {
+        // Non-vacuous: the chaos series actually made it into the
+        // artifacts.
+        let any = bytes1.values().next().unwrap();
+        let text = std::str::from_utf8(any).unwrap();
+        assert!(text.contains("chaos.faults"), "chaos metrics missing");
+        assert!(text.contains("chaos.ttd_s"), "chaos series missing");
+    }
+    let _ = fs::remove_dir_all(&root1);
+    let _ = fs::remove_dir_all(&root4);
+}
+
+/// Like [`artifact_bytes`] but for any campaign name.
+fn named_artifact_bytes(root: &Path, name: &str) -> BTreeMap<String, Vec<u8>> {
+    let jobs = root.join(name).join("jobs");
     let mut out = BTreeMap::new();
     for entry in fs::read_dir(&jobs).expect("jobs dir") {
         let path = entry.unwrap().path();

@@ -31,7 +31,7 @@ fn random_bytes(rng: &mut Rng, max_len: u64) -> Vec<u8> {
 #[test]
 fn udp_roundtrip() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_001 ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C001 ^ case);
         let sp = rng.below(1 << 16) as u16;
         let dp = rng.below(1 << 16) as u16;
         let a = rng.below(100) as u16;
@@ -53,7 +53,7 @@ fn udp_roundtrip() {
 #[test]
 fn udp_detects_single_byte_corruption() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_002 ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C002 ^ case);
         let payload: Vec<u8> = {
             let n = rng.range_inclusive(1, 99) as usize;
             (0..n).map(|_| rng.below(256) as u8).collect()
@@ -77,7 +77,7 @@ fn udp_detects_single_byte_corruption() {
 #[test]
 fn ipv6_header_roundtrip() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_003 ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C003 ^ case);
         let hdr = Ipv6Header {
             traffic_class: rng.below(256) as u8,
             flow_label: rng.below(1 << 20) as u32,
@@ -99,7 +99,7 @@ fn ipv6_header_roundtrip() {
 #[test]
 fn iphc_roundtrip_udp() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_004 ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C004 ^ case);
         let a = rng.below(64) as u16;
         let b = (a + 1 + rng.below(63) as u16) % 64;
         if a == b {
@@ -130,7 +130,7 @@ fn iphc_roundtrip_udp() {
 #[test]
 fn iphc_decoder_total() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_005 ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C005 ^ case);
         let bytes = random_bytes(&mut rng, 299);
         let _ = iphc::decode_frame(&bytes, &ctx(1, 2));
     }
@@ -141,7 +141,7 @@ fn iphc_decoder_total() {
 #[test]
 fn fragmentation_roundtrip() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_006 ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C006 ^ case);
         let datagram: Vec<u8> = {
             let n = rng.range_inclusive(1, 1499) as usize;
             (0..n).map(|_| rng.below(256) as u8).collect()
@@ -167,7 +167,7 @@ fn fragmentation_roundtrip() {
 #[test]
 fn coap_roundtrip() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_007 ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C007 ^ case);
         let mid = rng.below(1 << 16) as u16;
         let token = random_bytes(&mut rng, 8);
         let nopts = rng.below(6) as usize;
@@ -206,7 +206,7 @@ fn coap_roundtrip() {
 #[test]
 fn coap_decoder_total() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_008 ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C008 ^ case);
         let bytes = random_bytes(&mut rng, 299);
         let _ = Message::decode(&bytes);
     }
@@ -216,7 +216,7 @@ fn coap_decoder_total() {
 #[test]
 fn ble_pdu_roundtrip() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_009 ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C009 ^ case);
         let payload = random_bytes(&mut rng, 251);
         let pdu = DataPdu {
             llid: if payload.is_empty() {
@@ -236,7 +236,7 @@ fn ble_pdu_roundtrip() {
 #[test]
 fn ble_pdu_decoder_total() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_00A ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C00A ^ case);
         let bytes = random_bytes(&mut rng, 299);
         let _ = DataPdu::decode(&bytes);
     }
@@ -247,7 +247,7 @@ fn ble_pdu_decoder_total() {
 #[test]
 fn l2cap_sdu_roundtrip() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_00B ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C00B ^ case);
         let sdu = random_bytes(&mut rng, 1279);
         let max_pdu = rng.range_inclusive(27, 251) as usize;
         use mindgap::l2cap::{BufPool, CocChannel, CocConfig};
@@ -279,7 +279,7 @@ fn l2cap_sdu_roundtrip() {
 fn csa2_stays_in_map() {
     use mindgap::ble::channels::{csa2_channel, ChannelMap};
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xC0DEC_00C ^ case);
+        let mut rng = Rng::seed_from_u64(0xC0DE_C00C ^ case);
         let aa = rng.below(1 << 32) as u32;
         let ev = rng.below(1 << 16) as u16;
         let mask = rng.below(1 << 37);
@@ -297,7 +297,7 @@ fn csa2_stays_in_map() {
 fn access_addresses_valid() {
     use mindgap::ble::aa;
     for case in 0..CASES {
-        let mut meta = Rng::seed_from_u64(0xC0DEC_00D ^ case);
+        let mut meta = Rng::seed_from_u64(0xC0DE_C00D ^ case);
         let mut rng = Rng::seed_from_u64(meta.next_u64());
         let a = aa::generate(&mut rng);
         assert!(aa::is_valid(a));

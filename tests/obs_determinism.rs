@@ -51,6 +51,55 @@ fn same_seed_timeline_and_metrics_are_identical() {
     }
 }
 
+/// Chaos is inside the contract too: a scripted node reboot wipes and
+/// rebuilds a full node mid-run, which exercises the reboot RNG
+/// stream, timer cancellation and epoch-stamped producer chains — all
+/// of it must replay byte-identically.
+#[test]
+fn fault_schedule_exports_are_identical_across_runs() {
+    let run_faulted = || {
+        let faults = mindgap::chaos::FaultSchedule::new()
+            .node_crash(Duration::from_secs(45), 2, Duration::from_secs(5))
+            .jammer_burst(Duration::from_secs(60), 10, 0.9, Duration::from_secs(5))
+            .node_crash(Duration::from_secs(75), 1, Duration::from_secs(8));
+        let spec = ExperimentSpec::paper_default(
+            Topology::paper_tree(),
+            IntervalPolicy::Static(Duration::from_millis(75)),
+            7,
+        )
+        .with_duration(Duration::from_secs(90))
+        // Generous ring: fault markers must survive the flood of
+        // conn-event spans or the recovery analysis goes blind.
+        .with_timeline_cap(1 << 18)
+        .with_faults(faults);
+        let res = run_ble(&spec);
+        (res.timeline.to_jsonl(), res.metrics.flat("obs."), res.recovery)
+    };
+    let (jsonl_a, metrics_a, rec_a) = run_faulted();
+    let (jsonl_b, metrics_b, rec_b) = run_faulted();
+    assert_eq!(jsonl_a, jsonl_b, "faulted timeline diverged across runs");
+    assert_eq!(metrics_a, metrics_b, "faulted metrics diverged");
+    assert_eq!(rec_a, rec_b, "recovery metrics diverged");
+    if mindgap::obs::enabled() {
+        assert_eq!(
+            jsonl_a.matches("\"kind\":\"fault_node_crash\"").count(),
+            2,
+            "both crash markers must be on the timeline"
+        );
+        assert!(
+            jsonl_a.contains("\"kind\":\"fault_node_reboot\""),
+            "reboot markers missing"
+        );
+        assert_eq!(rec_a.len(), 3, "three injections, three records");
+        assert!(
+            rec_a.iter().filter(|r| r.detect_ns.is_some()).count() >= 2,
+            "crashes must be detected via supervision timeout"
+        );
+    } else {
+        assert!(rec_a.is_empty());
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     // Sanity check that the equality above isn't trivially true.
