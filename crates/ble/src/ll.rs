@@ -169,15 +169,44 @@ pub enum Frame {
         /// The PDU.
         pdu: DataPdu,
     },
+    /// An extended-advertising PDU carrying a 6LoWPAN frame — the
+    /// connection-less transport's data unit (`mindgap-adv`). The
+    /// connection link layer ignores these; the advertising transport
+    /// consumes them. Addressing is carried in-band: `dst` is a node
+    /// index or [`Frame::ADV_BROADCAST`], `seq` is per-advertiser and
+    /// keys receive-side duplicate suppression, `hops` bounds
+    /// rebroadcast flooding.
+    AdvData {
+        /// Transmitting node (per-hop sender, not the IP source).
+        advertiser: NodeId,
+        /// Destination node index, or [`Frame::ADV_BROADCAST`].
+        dst: u16,
+        /// Per-advertiser sequence number (duplicate-suppression key).
+        seq: u16,
+        /// Remaining rebroadcast budget.
+        hops: u8,
+        /// The compressed 6LoWPAN frame.
+        payload: Vec<u8>,
+    },
 }
 
 impl Frame {
+    /// Broadcast destination for [`Frame::AdvData`].
+    pub const ADV_BROADCAST: u16 = u16::MAX;
+
+    /// In-band addressing bytes an [`Frame::AdvData`] PDU spends on
+    /// top of its 6LoWPAN payload: dst (2) + seq (2) + hops (1).
+    pub const ADV_DATA_OVERHEAD: usize = 5;
+
     /// Exact on-air duration on the 1 Mbps PHY.
     pub fn airtime(&self) -> Duration {
         match self {
             Frame::AdvInd { payload_len, .. } => airtime::ble_adv_1m(*payload_len as u32),
             Frame::ConnectInd { .. } => CONNECT_IND_AIR,
             Frame::Data { pdu, phy, .. } => data_air(*phy, pdu.payload.len()),
+            Frame::AdvData { payload, .. } => airtime::ble_adv_ext_1m(
+                (payload.len() + Frame::ADV_DATA_OVERHEAD) as u32,
+            ),
         }
     }
 }
@@ -793,6 +822,10 @@ impl LinkLayer {
             Frame::AdvInd { advertiser, .. } => {
                 self.scanner_saw_adv(now, *advertiser, out);
             }
+            // The connection-less transport's PDUs are not ours: the
+            // advertising transport (`mindgap-adv`) owns the radio in
+            // worlds that carry them.
+            Frame::AdvData { .. } => {}
         }
     }
 
@@ -811,6 +844,7 @@ impl LinkLayer {
             Frame::ConnectInd { conn_id, .. } => {
                 self.connect_ind_tx_done(now, *conn_id, out)
             }
+            Frame::AdvData { .. } => {}
         }
     }
 

@@ -32,15 +32,16 @@ pub struct RttSample {
 pub struct LinkStats {
     /// (attempts, delivered) per time bucket.
     pub buckets: Vec<(u64, u64)>,
-    /// (attempts, delivered) per BLE data channel.
-    pub per_channel: [(u64, u64); 37],
+    /// (attempts, delivered) per BLE channel (0–36 data, 37–39
+    /// advertising — the connection-less transport's PDUs land there).
+    pub per_channel: [(u64, u64); 40],
 }
 
 impl Default for LinkStats {
     fn default() -> Self {
         LinkStats {
             buckets: Vec::new(),
-            per_channel: [(0, 0); 37],
+            per_channel: [(0, 0); 40],
         }
     }
 }
@@ -294,6 +295,15 @@ impl Records {
         }
         let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         Some(v[idx])
+    }
+
+    /// Total link-layer data PDU attempts across all links (retries
+    /// included), the denominator of [`Records::ll_pdr`].
+    pub fn ll_attempts(&self) -> u64 {
+        self.links
+            .values()
+            .map(|s| s.buckets.iter().map(|(a, _)| a).sum::<u64>())
+            .sum()
     }
 
     /// Overall link-layer PDR across all links.

@@ -18,6 +18,7 @@
 //! and the absence of a live connection while statconn reconnects
 //! (§5.1).
 
+use mindgap_adv::{AdvConfig, AdvLink, AdvObsEvent, AdvOut, AdvSendError, AdvTimer};
 use mindgap_ble::{
     ConnId, Frame, LinkLayer, ListenTag, LlConfig, LlObsEvent, LossReason, Output, Role, Timer,
 };
@@ -25,8 +26,10 @@ use mindgap_chaos::{labels, FaultKind, FaultSchedule, FOREVER_NS};
 use mindgap_coap::{Client, Code, Message, MsgType, Server};
 use mindgap_l2cap::frame::{self as l2frame, Signal, CID_LE_SIGNALING};
 use mindgap_l2cap::{BufPool, CocChannel, CocConfig, NIMBLE_BUF_BYTES};
-use mindgap_net::{Ipv6Addr, Ipv6Stack, NetConfig, StackEvent};
-use mindgap_obs::{MetricsSnapshot, Obs, Span};
+use mindgap_net::{
+    Ipv6Addr, Ipv6Stack, LinkService, LinkSignal, NetConfig, SignalLog, StackEvent, TxAdmission,
+};
+use mindgap_obs::{AdvMetrics, MetricsSnapshot, Obs, Span};
 use mindgap_phy::{
     Channel, LossConfig, Medium, MediumConfig, RxOutcome, TxId, TxParams, BLE_JAMMED_CHANNEL,
     CHANNEL_TABLE_SIZE,
@@ -98,6 +101,18 @@ pub struct NodeConfig {
     pub routes: Vec<(Ipv6Addr, Ipv6Addr)>,
 }
 
+/// Which link transport carries 6LoWPAN frames between nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TransportMode {
+    /// The paper's data path: L2CAP connection-oriented channels over
+    /// LL connections (statconn-managed, credit flow control).
+    #[default]
+    Conn,
+    /// Connection-less: extended-advertising PDUs + duty-cycled
+    /// scanning (`mindgap-adv`; DESIGN.md §10).
+    Adv(AdvConfig),
+}
+
 /// World-level configuration.
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
@@ -131,6 +146,10 @@ pub struct WorldConfig {
     /// largest drawable connection interval; the chaos recovery
     /// experiments sweep this knob.
     pub supervision_timeout: Option<Duration>,
+    /// Link transport. [`TransportMode::Conn`] is the paper's stack;
+    /// [`TransportMode::Adv`] swaps in the connection-less
+    /// advertising transport behind the same [`LinkService`] boundary.
+    pub transport: TransportMode,
 }
 
 impl WorldConfig {
@@ -148,6 +167,7 @@ impl WorldConfig {
             record_bucket: Duration::from_secs(60),
             timeline_cap: 1 << 16,
             supervision_timeout: None,
+            transport: TransportMode::Conn,
         }
     }
 }
@@ -170,6 +190,8 @@ enum Ev {
     FaultClear(u32),
     /// Move sweeping jammer `fault` to its `step`-th channel.
     SweepStep { fault: u32, step: u8 },
+    /// Advertising-transport timer (adv mode only).
+    AdvTimer(NodeId, AdvTimer),
 }
 
 struct InFlight {
@@ -190,22 +212,31 @@ struct CocState {
     pending_credits: u16,
 }
 
-struct BleNode {
-    ll: LinkLayer,
-    stack: Ipv6Stack,
-    statconn: Statconn,
+/// The connection-oriented transport behind the [`LinkService`]
+/// boundary: L2CAP credit-based channels over LL connections plus the
+/// NimBLE-sized mbuf pool, exactly the paper's data path (§3). The
+/// data path itself stays in `World`'s hot loop; this struct owns the
+/// per-node transport state and answers the introspection/admission
+/// queries the trait defines.
+pub(crate) struct ConnLink {
     /// Live L2CAP channels, in connection-creation order. A node has
     /// a handful at most, so a linear scan beats hashing on the data
     /// path (and iteration order is deterministic, unlike a HashMap).
     cocs: Vec<(ConnId, CocState)>,
     pool: BufPool,
-    client: Client,
-    server: Server,
-    rpl: Option<RplAgent>,
-    rng: Rng,
+    /// Ordered link-up/down log (channel establishment / teardown).
+    signals: SignalLog,
 }
 
-impl BleNode {
+impl ConnLink {
+    fn new() -> Self {
+        ConnLink {
+            cocs: Vec::new(),
+            pool: BufPool::new(NIMBLE_BUF_BYTES),
+            signals: SignalLog::new(LINK_SIGNAL_CAP),
+        }
+    }
+
     fn coc(&self, conn: ConnId) -> Option<&CocState> {
         self.cocs.iter().find(|(c, _)| *c == conn).map(|(_, s)| s)
     }
@@ -220,6 +251,85 @@ impl BleNode {
     fn coc_remove(&mut self, conn: ConnId) -> Option<CocState> {
         let i = self.cocs.iter().position(|(c, _)| *c == conn)?;
         Some(self.cocs.remove(i).1)
+    }
+}
+
+impl LinkService for ConnLink {
+    fn mtu(&self) -> usize {
+        // RFC 7668: IPv6 over BLE relies on L2CAP segmentation, so the
+        // link presents the IPv6 minimum MTU to the stack.
+        1280
+    }
+
+    fn admit(&self, next_hop: LlAddr) -> TxAdmission {
+        if self
+            .cocs
+            .iter()
+            .any(|(_, s)| LlAddr::from_node_index(s.peer.0) == next_hop)
+        {
+            TxAdmission::Ok
+        } else {
+            TxAdmission::NoLink
+        }
+    }
+
+    fn neighbors(&self) -> Vec<LlAddr> {
+        self.cocs
+            .iter()
+            .map(|(_, s)| LlAddr::from_node_index(s.peer.0))
+            .collect()
+    }
+
+    fn signals(&self) -> &[LinkSignal] {
+        self.link_signals()
+    }
+}
+
+impl ConnLink {
+    fn link_signals(&self) -> &[LinkSignal] {
+        self.signals.as_slice()
+    }
+}
+
+/// Signal-log bound shared by both transports: long enough for every
+/// formation/teardown sequence the experiments produce, bounded so
+/// chaos campaigns with endless reconnect churn cannot grow it.
+const LINK_SIGNAL_CAP: usize = 4096;
+
+struct BleNode {
+    ll: LinkLayer,
+    stack: Ipv6Stack,
+    statconn: Statconn,
+    /// Connection-oriented transport state (L2CAP channels + pool).
+    link: ConnLink,
+    /// Connection-less advertising transport (adv mode only; `None`
+    /// in connection mode, so the paper's data path carries no cost).
+    adv: Option<AdvLink>,
+    client: Client,
+    server: Server,
+    rpl: Option<RplAgent>,
+    rng: Rng,
+}
+
+impl BleNode {
+    fn coc(&self, conn: ConnId) -> Option<&CocState> {
+        self.link.coc(conn)
+    }
+
+    fn coc_mut(&mut self, conn: ConnId) -> Option<&mut CocState> {
+        self.link.coc_mut(conn)
+    }
+
+    fn coc_remove(&mut self, conn: ConnId) -> Option<CocState> {
+        self.link.coc_remove(conn)
+    }
+
+    /// The active transport behind the link-service boundary.
+    fn link_service_ref(&self) -> &dyn LinkService {
+        match &self.adv {
+            Some(adv) => adv,
+            None => &self.link,
+        }
     }
 }
 
@@ -287,8 +397,12 @@ pub struct World {
     /// Pending LL timer tokens per node, tagged with the owning
     /// connection (`None` = advertising/scanning timers). Lets conn
     /// teardown and node crashes cancel dead timers at the queue
-    /// instead of leaking them into the far future.
+    /// instead of leaking them into the far future. Adv-transport
+    /// timers are tracked here too (always `None`-tagged).
     ll_timers: Vec<Vec<(Option<ConnId>, ScheduledEvent)>>,
+    /// Advertising-transport metric ids; registered only in adv mode
+    /// so connection-mode metric exports are byte-identical.
+    adv_m: Option<AdvMetrics>,
 }
 
 /// Injector state: the installed schedule plus one scratch slot per
@@ -299,11 +413,14 @@ struct ChaosState {
     scratch: Vec<f64>,
 }
 
-/// The three independent RNG streams a node's stack draws from.
+/// The independent RNG streams a node's stack draws from. The `adv`
+/// stream exists only in advertising mode — connection-mode runs draw
+/// exactly the sequence they always did.
 struct NodeRngs {
     ll: Rng,
     sc: Rng,
     node: Rng,
+    adv: Option<Rng>,
 }
 
 /// Build one node's full stack from its static config. Used at world
@@ -336,12 +453,18 @@ fn make_node(
     if let Some(t) = cfg.supervision_timeout {
         statconn.set_supervision_timeout(t);
     }
+    let adv = match (&cfg.transport, rngs.adv) {
+        (TransportMode::Adv(ac), Some(r)) => {
+            Some(AdvLink::new(id, *ac, Clock::with_ppm(ppm), r))
+        }
+        _ => None,
+    };
     BleNode {
         ll: LinkLayer::new(id, Clock::with_ppm(ppm), cfg.ll, rngs.ll),
         stack,
         statconn,
-        cocs: Vec::new(),
-        pool: BufPool::new(NIMBLE_BUF_BYTES),
+        link: ConnLink::new(),
+        adv,
         client: Client::new(id.0),
         server: Server::new(0x8000 | id.0),
         rpl,
@@ -379,10 +502,17 @@ impl World {
                     ll: rng.fork(1000 + i as u64),
                     sc: rng.fork(2000 + i as u64),
                     node: rng.fork(3000 + i as u64),
+                    // The extra fork happens only in adv mode, so
+                    // connection-mode runs keep their exact draw order.
+                    adv: matches!(cfg.transport, TransportMode::Adv(_))
+                        .then(|| rng.fork(4000 + i as u64)),
                 };
                 make_node(&cfg, app.consumer, nc, id, ppm, rngs)
             })
             .collect();
+        let mut obs = Obs::new(n, cfg.timeline_cap);
+        let adv_m = matches!(cfg.transport, TransportMode::Adv(_))
+            .then(|| AdvMetrics::register(&mut obs.reg));
         World {
             queue: EventQueue::new(),
             medium,
@@ -400,7 +530,7 @@ impl World {
             max_pdu: cfg.ll.max_pdu,
             records: Records::new(cfg.record_bucket),
             trace: Trace::control_plane(1 << 20),
-            obs: Obs::new(n, cfg.timeline_cap),
+            obs,
             app,
             echo_replies: Vec::new(),
             started: false,
@@ -411,6 +541,7 @@ impl World {
             reboot_rng: Rng::seed_from_u64(cfg.seed ^ 0xC4A0_5BAD_F00D_0001),
             chaos: None,
             ll_timers: vec![Vec::new(); n],
+            adv_m,
             cfg,
             node_cfgs,
         }
@@ -449,6 +580,12 @@ impl World {
         self.nodes[node.index()].ll.counters()
     }
 
+    /// Advertising-transport counters of one node (`None` in
+    /// connection mode).
+    pub fn adv_counters(&self, node: NodeId) -> Option<mindgap_adv::AdvCounters> {
+        self.nodes[node.index()].adv.as_ref().map(|a| a.counters())
+    }
+
     /// Fold component-held counters (LL counters, `NetStats`, CoC
     /// credit stalls, routing rank) into the registry's sampled
     /// metrics and return a point-in-time snapshot of everything.
@@ -471,10 +608,36 @@ impl World {
             reg.set_counter(m.ipv6_delivered, id, s.delivered);
             reg.set_counter(m.ipv6_dropped, id, s.dropped);
             reg.set_counter(m.ipv6_no_route, id, s.no_route);
-            let stalls: u64 = n.cocs.iter().map(|(_, s)| s.chan.credit_stalls()).sum();
+            let stalls: u64 = n.link.cocs.iter().map(|(_, s)| s.chan.credit_stalls()).sum();
             reg.set_counter(m.l2cap_credit_stalls, id, stalls);
             let rank = n.rpl.as_ref().map(|a| a.rank() as i64).unwrap_or(-1);
             reg.gauge_set(m.rpl_rank, id, rank);
+            if let (Some(adv), Some(am)) = (&n.adv, self.adv_m) {
+                let a = adv.counters();
+                // In adv mode the connection LL is idle, so the PHY
+                // radio-time samples come from the adv transport.
+                reg.set_counter(m.phy_tx_airtime_ns, id, c.tx_ns + a.tx_ns);
+                reg.set_counter(
+                    m.phy_listen_ns,
+                    id,
+                    c.listen_ns + adv.listen_ns_through(self.queue.now()),
+                );
+                reg.set_counter(am.adv_events, id, a.adv_events);
+                reg.set_counter(am.adv_trains, id, a.adv_trains);
+                reg.set_counter(am.adv_beacon_trains, id, a.beacon_trains);
+                reg.set_counter(am.adv_pdus_tx, id, a.pdus_tx);
+                reg.set_counter(am.adv_pdus_rx, id, a.pdus_rx);
+                reg.set_counter(am.adv_beacons_rx, id, a.beacons_rx);
+                reg.set_counter(am.adv_dups_suppressed, id, a.dups_suppressed);
+                reg.set_counter(am.adv_delivered, id, a.delivered);
+                reg.set_counter(am.adv_rebroadcasts, id, a.rebroadcasts);
+                reg.set_counter(am.adv_queue_drops, id, a.queue_drops);
+                reg.set_counter(am.adv_neighbor_ups, id, a.neighbor_ups);
+                reg.set_counter(am.adv_neighbor_downs, id, a.neighbor_downs);
+                reg.set_counter(am.adv_scan_windows, id, a.scan_windows);
+                reg.gauge_set(am.adv_neighbors, id, adv.neighbor_count() as i64);
+                reg.gauge_set(am.adv_queue_depth, id, adv.queue_len() as i64);
+            }
         }
         self.obs.snapshot()
     }
@@ -522,7 +685,7 @@ impl World {
         Some((
             c.chan.tx_credits(),
             c.chan.queued_bytes(),
-            n.pool.used(),
+            n.link.pool.used(),
             n.ll.queue_space(conn),
         ))
     }
@@ -552,7 +715,7 @@ impl World {
 
     /// mbuf-pool drop count of one node.
     pub fn pool_drops(&self, node: NodeId) -> u64 {
-        self.nodes[node.index()].pool.drops()
+        self.nodes[node.index()].link.pool.drops()
     }
 
     /// `true` once every configured edge of every node is connected.
@@ -567,8 +730,14 @@ impl World {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            let actions = self.nodes[i].statconn.start();
-            self.apply_sc_actions(NodeId(i as u16), actions);
+            if self.nodes[i].adv.is_some() {
+                // Connection-less transport: no statconn, no L2CAP —
+                // each node just starts advertising and scanning.
+                self.start_adv(NodeId(i as u16));
+            } else {
+                let actions = self.nodes[i].statconn.start();
+                self.apply_sc_actions(NodeId(i as u16), actions);
+            }
         }
         for p in self.app.producers.clone() {
             let jittered = self.nodes[p.index()].rng.jittered_nanos(
@@ -671,9 +840,27 @@ impl World {
         self.medium.set_in_range(a, b, true);
     }
 
+    /// Install a static extra packet-error rate on the link `a`↔`b`
+    /// (symmetric, both directions). Testbed specs use this to model
+    /// distance-derived loss (see `mindgap_phy::PathLossConfig`).
+    pub fn set_link_per(&mut self, a: NodeId, b: NodeId, per: f64) {
+        self.medium.set_link_loss(a, b, per, true);
+    }
+
     /// Bytes currently held in a node's NimBLE mbuf pool (diagnostics).
     pub fn pool_used(&self, node: NodeId) -> usize {
-        self.nodes[node.index()].pool.used()
+        self.nodes[node.index()].link.pool.used()
+    }
+
+    /// The node's transport viewed through the link-service boundary
+    /// (MTU, tx admission, neighbor set, link-up/down signal log).
+    pub fn link_service(&self, node: NodeId) -> &dyn LinkService {
+        self.nodes[node.index()].link_service_ref()
+    }
+
+    /// Ordered link-up/down signals observed by one node's transport.
+    pub fn link_signals(&self, node: NodeId) -> &[LinkSignal] {
+        self.link_service(node).signals()
     }
 
     /// Next hop a node's routing table picks for `dst` (diagnostics).
@@ -745,7 +932,24 @@ impl World {
             Ev::Fault(i) => self.inject_fault(now, i),
             Ev::FaultClear(i) => self.clear_fault(now, i),
             Ev::SweepStep { fault, step } => self.sweep_step(now, fault, step),
+            Ev::AdvTimer(node, timer) => {
+                let mut outs = Vec::new();
+                if let Some(adv) = self.nodes[node.index()].adv.as_mut() {
+                    adv.on_timer(now, timer, &mut outs);
+                }
+                self.apply_adv(node, outs);
+            }
         }
+    }
+
+    /// (Re)start a node's advertising transport.
+    fn start_adv(&mut self, node: NodeId) {
+        let now = self.queue.now();
+        let mut outs = Vec::new();
+        if let Some(adv) = self.nodes[node.index()].adv.as_mut() {
+            adv.start(now, &mut outs);
+        }
+        self.apply_adv(node, outs);
     }
 
     fn rpl_tick(&mut self, now: Instant, node: NodeId) {
@@ -822,6 +1026,41 @@ impl World {
         self.medium.finish_tx_into(fl.tx, &cand, &mut outcomes);
         cand.clear();
         self.cand_scratch = cand;
+        // Advertising-transport PDUs never touch the connection LL:
+        // dispatch to each listener's AdvLink and hand the completion
+        // back to the sender's.
+        if let Frame::AdvData { dst, payload, .. } = &fl.frame {
+            if *dst != Frame::ADV_BROADCAST && !payload.is_empty() {
+                let dstn = NodeId(*dst);
+                let ok = outcomes.iter().any(|(l, o)| *l == dstn && o.is_ok());
+                self.obs.reg.inc(self.obs.m.ll_data_attempts, fl.src);
+                if ok {
+                    self.obs.reg.inc(self.obs.m.ll_data_delivered, fl.src);
+                }
+                self.records
+                    .ll_attempt(fl.src, dstn, now, fl.channel.index(), ok);
+            }
+            for &(listener, outcome) in &outcomes {
+                if outcome.is_ok() {
+                    let mut outs = Vec::new();
+                    if let Some(adv) = self.nodes[listener.index()].adv.as_mut() {
+                        adv.on_frame_rx(now, &fl.frame, &mut outs);
+                    }
+                    self.apply_adv(listener, outs);
+                }
+            }
+            outcomes.clear();
+            self.outcome_scratch = outcomes;
+            if fl.src_epoch != self.boot_epoch[fl.src.index()] {
+                return;
+            }
+            let mut outs = Vec::new();
+            if let Some(adv) = self.nodes[fl.src.index()].adv.as_mut() {
+                adv.on_tx_done(now, &mut outs);
+            }
+            self.apply_adv(fl.src, outs);
+            return;
+        }
         // Link-layer delivery accounting for data PDUs.
         if let Frame::Data { conn, pdu, .. } = &fl.frame {
             if !pdu.payload.is_empty() {
@@ -920,39 +1159,7 @@ impl World {
                     self.track_ll_timer(node, conn, tok);
                 }
                 Output::Tx { channel, frame } => {
-                    let payload_bytes = match &frame {
-                        Frame::AdvInd { payload_len, .. } => *payload_len as u64,
-                        Frame::ConnectInd { .. } => 34,
-                        Frame::Data { pdu, .. } => pdu.payload.len() as u64,
-                    };
-                    self.obs.reg.inc(self.obs.m.phy_tx_frames, node);
-                    self.obs.reg.add(self.obs.m.phy_tx_bytes, node, payload_bytes);
-                    let airtime = frame.airtime();
-                    let tx = self.medium.begin_tx(TxParams {
-                        src: node,
-                        channel,
-                        start: now,
-                        airtime,
-                    });
-                    let fl = InFlight {
-                        tx,
-                        src: node,
-                        frame,
-                        channel,
-                        start: now,
-                        src_epoch: self.boot_epoch[node.index()],
-                    };
-                    let slot = match self.free_tx.pop() {
-                        Some(s) => {
-                            self.inflight[s] = Some(fl);
-                            s
-                        }
-                        None => {
-                            self.inflight.push(Some(fl));
-                            self.inflight.len() - 1
-                        }
-                    };
-                    self.queue.schedule_at(now + airtime, Ev::TxEnd(slot));
+                    self.begin_frame_tx(now, node, channel, frame);
                 }
                 Output::Listen { channel, until, tag } => {
                     if let Some((_, old_ch, _, _)) = self.listening[node.index()] {
@@ -992,6 +1199,138 @@ impl World {
                     self.trace.emit(now, node, TraceKind::Link, tag, detail);
                 }
                 Output::Obs(ev) => self.obs_ll_event(now, node, ev),
+            }
+        }
+    }
+
+    /// Put `frame` on air from `node`: PHY accounting, medium
+    /// registration, in-flight slot, `TxEnd` scheduling. Shared by
+    /// both transports' output executors.
+    fn begin_frame_tx(&mut self, now: Instant, node: NodeId, channel: Channel, frame: Frame) {
+        let payload_bytes = match &frame {
+            Frame::AdvInd { payload_len, .. } => *payload_len as u64,
+            Frame::ConnectInd { .. } => 34,
+            Frame::Data { pdu, .. } => pdu.payload.len() as u64,
+            Frame::AdvData { payload, .. } => {
+                (payload.len() + Frame::ADV_DATA_OVERHEAD) as u64
+            }
+        };
+        self.obs.reg.inc(self.obs.m.phy_tx_frames, node);
+        self.obs.reg.add(self.obs.m.phy_tx_bytes, node, payload_bytes);
+        let airtime = frame.airtime();
+        let tx = self.medium.begin_tx(TxParams {
+            src: node,
+            channel,
+            start: now,
+            airtime,
+        });
+        let fl = InFlight {
+            tx,
+            src: node,
+            frame,
+            channel,
+            start: now,
+            src_epoch: self.boot_epoch[node.index()],
+        };
+        let slot = match self.free_tx.pop() {
+            Some(s) => {
+                self.inflight[s] = Some(fl);
+                s
+            }
+            None => {
+                self.inflight.push(Some(fl));
+                self.inflight.len() - 1
+            }
+        };
+        self.queue.schedule_at(now + airtime, Ev::TxEnd(slot));
+    }
+
+    /// Execute the advertising transport's output actions — the adv
+    /// counterpart of [`World::apply_ll`]. Listening uses
+    /// [`ListenTag::Scan`]; in adv mode statconn never runs, so the
+    /// tag cannot collide with connection-establishment scanning.
+    fn apply_adv(&mut self, node: NodeId, outs: Vec<AdvOut>) {
+        let now = self.queue.now();
+        for o in outs {
+            match o {
+                AdvOut::Arm { at, timer } => {
+                    let tok = self
+                        .queue
+                        .schedule_at(at.max(now), Ev::AdvTimer(node, timer));
+                    self.track_ll_timer(node, None, tok);
+                }
+                AdvOut::Tx { channel, frame } => {
+                    self.begin_frame_tx(now, node, channel, frame);
+                }
+                AdvOut::Listen { channel, until } => {
+                    if let Some((_, old_ch, _, _)) = self.listening[node.index()] {
+                        if old_ch != channel {
+                            self.index_listen_off(node, old_ch);
+                        }
+                    }
+                    self.index_listen_on(node, channel);
+                    self.listening[node.index()] =
+                        Some((ListenTag::Scan, channel, now, until));
+                }
+                AdvOut::ListenOff => {
+                    if let Some((t, ch, _, _)) = self.listening[node.index()] {
+                        if t == ListenTag::Scan {
+                            self.index_listen_off(node, ch);
+                            self.listening[node.index()] = None;
+                        }
+                    }
+                }
+                AdvOut::Deliver { src, sdu } => {
+                    self.handle_sdu(node, src, sdu);
+                }
+                AdvOut::NeighborUp { peer } => {
+                    self.trace
+                        .emit(now, node, TraceKind::Link, "adv_neighbor_up", peer.0 as u64);
+                    self.obs
+                        .timeline
+                        .record(now, node, Span::NeighborUp { peer });
+                }
+                AdvOut::NeighborDown { peer } => {
+                    self.trace.emit(
+                        now,
+                        node,
+                        TraceKind::Link,
+                        "adv_neighbor_down",
+                        peer.0 as u64,
+                    );
+                    self.obs
+                        .timeline
+                        .record(now, node, Span::NeighborDown { peer });
+                    // Mirror conn_down's routing notification so the
+                    // RPL agent reacts to lost adv neighbors too.
+                    let sends = {
+                        let n = &mut self.nodes[node.index()];
+                        n.rpl.as_mut().map(|agent| {
+                            agent.on_neighbor_down(
+                                Ipv6Addr::of_node(peer.0),
+                                n.stack.routing_mut(),
+                            )
+                        })
+                    };
+                    if let Some(sends) = sends {
+                        self.rpl_transmit(node, sends);
+                    }
+                }
+                AdvOut::Obs(ev) => {
+                    if !self.obs.timeline.enabled() {
+                        continue;
+                    }
+                    let span = match ev {
+                        AdvObsEvent::TrainStart { seq, queued, beacon } => {
+                            Span::AdvTrain { seq, queued, beacon }
+                        }
+                        AdvObsEvent::ScanWindow { channel } => Span::ScanWindow { channel },
+                        AdvObsEvent::Duplicate { advertiser, seq } => {
+                            Span::AdvDuplicate { advertiser, seq }
+                        }
+                    };
+                    self.obs.timeline.record(now, node, span);
+                }
             }
         }
     }
@@ -1062,7 +1401,8 @@ impl World {
             .iter()
             .any(|a| matches!(a, ScAction::Close { conn: c } if *c == conn));
         if !rejected {
-            self.nodes[node.index()].cocs.push((
+            let link = &mut self.nodes[node.index()].link;
+            link.cocs.push((
                 conn,
                 CocState {
                     chan: CocChannel::symmetric(CocConfig::default(), 0x40, 0x40),
@@ -1070,6 +1410,9 @@ impl World {
                     pending_credits: 0,
                 },
             ));
+            link.signals.push(LinkSignal::Up {
+                peer: LlAddr::from_node_index(peer.0),
+            });
         }
         self.apply_sc_actions(node, actions);
     }
@@ -1107,8 +1450,11 @@ impl World {
             // Release mbufs still queued for this channel.
             let queued = coc.chan.queued_pool_cost();
             if queued > 0 {
-                self.nodes[node.index()].pool.free(queued);
+                self.nodes[node.index()].link.pool.free(queued);
             }
+            self.nodes[node.index()].link.signals.push(LinkSignal::Down {
+                peer: LlAddr::from_node_index(peer.0),
+            });
         }
         {
             let sends = {
@@ -1332,6 +1678,9 @@ impl World {
                 self.clock_ppms[i] = (self.clock_ppms[i] + delta_ppm).clamp(-9_999.0, 9_999.0);
                 let clock = Clock::with_ppm(self.clock_ppms[i]);
                 self.nodes[i].ll.set_clock(clock);
+                if let Some(adv) = self.nodes[i].adv.as_mut() {
+                    adv.set_clock(clock);
+                }
             }
             FaultKind::MbufPressure { node, bytes, lasts } => {
                 self.record_fault(
@@ -1341,7 +1690,7 @@ impl World {
                     node as u64,
                     bytes as u64,
                 );
-                let seized = self.nodes[node as usize].pool.seize(bytes as usize);
+                let seized = self.nodes[node as usize].link.pool.seize(bytes as usize);
                 self.chaos.as_mut().expect("checked above").scratch[idx as usize] = seized as f64;
                 self.schedule_clear(now, idx, lasts);
             }
@@ -1391,7 +1740,7 @@ impl World {
                 // A crash while the pressure was active rebuilt the
                 // pool and zeroed the scratch: nothing to release.
                 if seized > 0 {
-                    self.nodes[node as usize].pool.release(seized);
+                    self.nodes[node as usize].link.pool.release(seized);
                 }
             }
         }
@@ -1489,6 +1838,7 @@ impl World {
             ll: r.fork(1),
             sc: r.fork(2),
             node: r.fork(3),
+            adv: matches!(self.cfg.transport, TransportMode::Adv(_)).then(|| r.fork(4)),
         };
         self.nodes[i] = make_node(
             &self.cfg,
@@ -1508,8 +1858,12 @@ impl World {
         debug_assert!(self.down[i], "reboot of a node that is not down");
         self.down[i] = false;
         self.record_fault(now, id, labels::NODE_REBOOT, id.0 as u64, u64::MAX);
-        let actions = self.nodes[i].statconn.start();
-        self.apply_sc_actions(id, actions);
+        if self.nodes[i].adv.is_some() {
+            self.start_adv(id);
+        } else {
+            let actions = self.nodes[i].statconn.start();
+            self.apply_sc_actions(id, actions);
+        }
         let epoch = self.boot_epoch[i];
         if self.app.producers.contains(&id) {
             let jittered = self.nodes[i].rng.jittered_nanos(
@@ -1540,7 +1894,8 @@ impl World {
         let max_pdu = self.max_pdu;
         loop {
             let n = &mut self.nodes[node.index()];
-            let BleNode { ll, cocs, pool, .. } = n;
+            let BleNode { ll, link, .. } = n;
+            let ConnLink { cocs, pool, .. } = link;
             let Some(coc) = cocs
                 .iter_mut()
                 .find(|(c, _)| *c == conn)
@@ -1633,8 +1988,9 @@ impl World {
             return;
         }
         let (sdu, peer) = {
-            let BleNode { ll, cocs, .. } = &mut self.nodes[node.index()];
-            let Some(coc) = cocs
+            let BleNode { ll, link, .. } = &mut self.nodes[node.index()];
+            let Some(coc) = link
+                .cocs
                 .iter_mut()
                 .find(|(c, _)| *c == conn)
                 .map(|(_, s)| s)
@@ -1773,9 +2129,14 @@ impl World {
 
     /// Hand an IPv6 packet to the BLE link towards `next_hop_ll`.
     fn send_ip(&mut self, node: NodeId, packet: Vec<u8>, next_hop_ll: LlAddr) {
+        if self.nodes[node.index()].adv.is_some() {
+            self.send_ip_adv(node, packet, next_hop_ll);
+            return;
+        }
         if next_hop_ll == LlAddr::BROADCAST {
             // RFC 7668: multicast is replicated over every link.
             let conns: Vec<(ConnId, NodeId)> = self.nodes[node.index()]
+                .link
                 .cocs
                 .iter()
                 .map(|(c, s)| (*c, s.peer))
@@ -1791,12 +2152,79 @@ impl World {
             self.records.drop("link_down");
             return;
         };
-        if self.nodes[node.index()].coc(conn).is_none() {
+        // Admission through the link-service boundary: no open L2CAP
+        // channel towards the hop means the frame cannot leave.
+        if self.nodes[node.index()].link.admit(next_hop_ll) != TxAdmission::Ok {
             self.obs.reg.inc(self.obs.m.ipv6_send_failures, node);
             self.records.drop("link_down");
             return;
         }
         self.send_on_conn(node, conn, peer, &packet);
+    }
+
+    /// Adv-mode IP egress: compress per hop and queue on the
+    /// advertising transport. Multicast replicates to every current
+    /// neighbor as link-layer unicast, mirroring the conn path's
+    /// per-link replication (RFC 7668 semantics).
+    fn send_ip_adv(&mut self, node: NodeId, packet: Vec<u8>, next_hop_ll: LlAddr) {
+        if next_hop_ll == LlAddr::BROADCAST {
+            let peers: Vec<NodeId> = {
+                let Some(adv) = self.nodes[node.index()].adv.as_ref() else {
+                    return;
+                };
+                adv.neighbors()
+                    .iter()
+                    .map(|a| NodeId(u16::from_be_bytes([a.0[6], a.0[7]])))
+                    .collect()
+            };
+            for peer in peers {
+                self.send_on_adv(node, peer, &packet);
+            }
+            return;
+        }
+        let peer = NodeId(u16::from_be_bytes([next_hop_ll.0[6], next_hop_ll.0[7]]));
+        // Admission through the link-service boundary: a next hop we
+        // have never heard a beacon from cannot be reached yet.
+        match self.nodes[node.index()].link_service_ref().admit(next_hop_ll) {
+            TxAdmission::Ok => self.send_on_adv(node, peer, &packet),
+            TxAdmission::NoLink => {
+                self.obs.reg.inc(self.obs.m.ipv6_send_failures, node);
+                self.records.drop("link_down");
+            }
+            TxAdmission::Backpressure => {
+                self.obs.reg.inc(self.obs.m.ipv6_send_failures, node);
+                self.records.drop("adv_queue_full");
+            }
+        }
+    }
+
+    fn send_on_adv(&mut self, node: NodeId, peer: NodeId, packet: &[u8]) {
+        let ctx = LinkContext {
+            src: LlAddr::from_node_index(node.0),
+            dst: LlAddr::from_node_index(peer.0),
+        };
+        let frame = iphc::encode_frame(packet, &ctx);
+        let n = &mut self.nodes[node.index()];
+        let Some(adv) = n.adv.as_mut() else {
+            self.records.drop("link_down");
+            return;
+        };
+        match adv.send(peer.0, frame) {
+            Ok(()) => {}
+            Err(AdvSendError::QueueFull) => {
+                self.records.drop("adv_queue_full");
+                self.trace.emit(
+                    self.queue.now(),
+                    node,
+                    TraceKind::Buffer,
+                    "adv_queue_full",
+                    0,
+                );
+            }
+            Err(AdvSendError::TooBig) => {
+                self.records.drop("adv_too_big");
+            }
+        }
     }
 
     fn send_on_conn(&mut self, node: NodeId, conn: ConnId, peer: NodeId, packet: &[u8]) {
@@ -1806,7 +2234,7 @@ impl World {
         };
         let frame = iphc::encode_frame(packet, &ctx);
         let n = &mut self.nodes[node.index()];
-        let BleNode { cocs, pool, .. } = n;
+        let ConnLink { cocs, pool, .. } = &mut n.link;
         let Some(coc) = cocs
             .iter_mut()
             .find(|(c, _)| *c == conn)

@@ -78,6 +78,16 @@ fn adv_train_radio_us(payload: usize) -> f64 {
     3.0 * pdu_us + 500.0
 }
 
+/// Airtime of one *extended*-advertising train with `payload` bytes
+/// of AdvData: three PDUs of (10 B 1M-PHY overhead + 10 B extended
+/// header + payload) at 8 µs/byte, mirroring
+/// `mindgap_phy::ble_adv_ext_1m` (energy is a leaf crate, so the
+/// framing constants are duplicated here). No post-PDU listen — the
+/// mindgap-adv transport is non-connectable and non-scannable.
+fn adv_ext_train_radio_us(payload: usize) -> f64 {
+    3.0 * ((10 + 10 + payload) * 8) as f64
+}
+
 impl EnergyModel {
     /// Average current added by one *idle* connection at `interval_ms`
     /// (paper: 30.7 µA coordinator / 34.7 µA subordinate at 75 ms).
@@ -153,6 +163,40 @@ impl EnergyModel {
             + sub_events as f64 * self.sub_event_uc
             + adv_trains as f64 * (self.adv_event_base_uc + self.radio_active_ma * adv_train_radio_us(22) / 1_000.0);
         self.idle_ua + (events_uc + self.radio_active_ma * extra_radio_us / 1_000.0) / elapsed_s
+    }
+
+    /// Charge of one extended-advertising train carrying `payload`
+    /// bytes of AdvData on all three primary channels (µC): the fixed
+    /// per-event overhead plus radio-active airtime. This is the
+    /// payload-aware cost of one `mindgap-adv` data or beacon train.
+    pub fn adv_ext_train_uc(&self, payload: usize) -> f64 {
+        self.adv_event_base_uc + self.radio_active_ma * adv_ext_train_radio_us(payload) / 1_000.0
+    }
+
+    /// Average current added by duty-cycled scanning: the radio
+    /// listens `window_ms` out of every `interval_ms` (µA). A 100 %
+    /// duty cycle is the radio's full active draw.
+    pub fn scan_ua(&self, window_ms: f64, interval_ms: f64) -> f64 {
+        assert!(interval_ms > 0.0 && window_ms >= 0.0);
+        self.radio_active_ma * 1_000.0 * (window_ms / interval_ms).min(1.0)
+    }
+
+    /// Total node current of an advertising-transport node from
+    /// `mindgap-adv` counters over `elapsed_s` seconds: idle draw +
+    /// per-train base overhead + TX airtime + scan-listen time. Pass
+    /// the transport's cumulative `adv_trains`, `tx_ns` and
+    /// `listen_ns` counters straight in.
+    pub fn adv_node_current_ua(
+        &self,
+        elapsed_s: f64,
+        adv_trains: u64,
+        tx_ns: u64,
+        listen_ns: u64,
+    ) -> f64 {
+        assert!(elapsed_s > 0.0);
+        let base_uc = adv_trains as f64 * self.adv_event_base_uc;
+        let radio_uc = self.radio_active_ma * (tx_ns + listen_ns) as f64 / 1_000_000.0;
+        self.idle_ua + (base_uc + radio_uc) / elapsed_s
     }
 
     /// Battery lifetime in days at a constant average current.
@@ -240,5 +284,44 @@ mod tests {
     #[should_panic]
     fn zero_current_lifetime_rejected() {
         let _ = EnergyModel::default().battery_days(230.0, 0.0);
+    }
+
+    #[test]
+    fn adv_ext_train_charge_is_payload_aware_and_pinned() {
+        let m = EnergyModel::default();
+        // Empty beacon train: 3 × (10+10)·8 µs = 480 µs on air →
+        // 3.0 µC base + 5.5 mA × 480 µs = 3.0 + 2.64 = 5.64 µC.
+        assert!(close(m.adv_ext_train_uc(0), 5.64, 1e-9));
+        // 100 B data train: 3 × 960 µs = 2 880 µs → 3.0 + 15.84 µC.
+        assert!(close(m.adv_ext_train_uc(100), 18.84, 1e-9));
+        assert!(m.adv_ext_train_uc(100) > m.adv_ext_train_uc(0));
+    }
+
+    #[test]
+    fn scan_current_scales_with_duty_cycle_and_is_pinned() {
+        let m = EnergyModel::default();
+        // Full-duty scanning is the radio's active draw: 5 500 µA.
+        assert!(close(m.scan_ua(100.0, 100.0), 5_500.0, 1e-9));
+        // 10 % duty: 30 ms window in a 300 ms interval → 550 µA.
+        assert!(close(m.scan_ua(30.0, 300.0), 550.0, 1e-9));
+        // Window longer than interval clamps to 100 %.
+        assert!(close(m.scan_ua(400.0, 300.0), 5_500.0, 1e-9));
+    }
+
+    #[test]
+    fn adv_node_current_combines_counters_and_is_pinned() {
+        let m = EnergyModel::default();
+        // One hour, beacon train every second (empty payload), 10 %
+        // scan duty: 3600 trains × 5.64 µC + 360 s listen × 5.5 mA.
+        let trains = 3_600u64;
+        let tx_ns = trains * 480_000; // 480 µs/train
+        let listen_ns = 360 * 1_000_000_000u64;
+        let ua = m.adv_node_current_ua(3_600.0, trains, tx_ns, listen_ns);
+        // 15 idle + 3600×3.0/3600 + 5.5 mA × (1.728 s + 360 s)/3600 s
+        // = 15 + 3.0 + 552.64 µA.
+        assert!(close(ua, 570.64, 0.01), "{ua:.2}");
+        // And the conn-path pinned numbers are untouched.
+        let events = 3_600_000 / 75;
+        assert!(close(m.node_current_ua(3_600.0, events, 0, 0, 0.0), 45.7, 0.5));
     }
 }

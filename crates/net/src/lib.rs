@@ -21,12 +21,14 @@
 mod addr;
 pub mod icmpv6;
 mod ipv6;
+pub mod link;
 mod neighbor;
 mod routing;
 mod stack;
 pub mod udp;
 
 pub use addr::Ipv6Addr;
+pub use link::{LinkService, LinkSignal, SignalLog, TxAdmission};
 pub use ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
 pub use neighbor::NeighborCache;
 pub use routing::RoutingTable;

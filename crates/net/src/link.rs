@@ -1,0 +1,159 @@
+//! The link-service boundary between the IPv6 stack and a transport.
+//!
+//! The paper's stack (§3, Fig. 2) reaches its link layer through one
+//! narrow interface: GNRC hands a compressed 6LoWPAN frame and a
+//! next-hop link address to *some* transport and gets link-up/down
+//! notifications back. The original deployment implements that
+//! transport with L2CAP connection-oriented channels; the authors'
+//! follow-up ("IPv6 over Bluetooth Advertisements") replaces it with
+//! extended advertising while keeping the boundary itself unchanged.
+//!
+//! [`LinkService`] captures exactly that boundary so both transports
+//! can sit behind it:
+//!
+//! * **MTU** — the largest 6LoWPAN frame the transport carries without
+//!   link-layer fragmentation it does not provide.
+//! * **tx admission** — whether a frame towards a next hop would be
+//!   accepted right now ([`TxAdmission`]): connection-oriented links
+//!   refuse hops without an open channel, connection-less links refuse
+//!   only when their tx queue is full.
+//! * **neighbor signals** — an ordered log of link-up/down events
+//!   ([`LinkSignal`]) and the current neighbor set, which the routing
+//!   agent and the conformance tests consume.
+//!
+//! The trait is deliberately read-only: the data path stays in the
+//! owning world's hot loop (no dynamic dispatch per frame), and the
+//! trait is the *introspection and admission* surface that must agree
+//! between transports.
+
+use mindgap_sixlowpan::LlAddr;
+
+/// One link-state transition, in the order it was observed.
+///
+/// For the connection transport these mirror L2CAP channel
+/// establishment and teardown; for the advertising transport they are
+/// neighbor-table insertions and expiries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSignal {
+    /// A usable link to `peer` appeared.
+    Up {
+        /// Link address of the peer.
+        peer: LlAddr,
+    },
+    /// The link to `peer` went away.
+    Down {
+        /// Link address of the peer.
+        peer: LlAddr,
+    },
+}
+
+impl LinkSignal {
+    /// The peer the signal refers to.
+    pub fn peer(&self) -> LlAddr {
+        match self {
+            LinkSignal::Up { peer } | LinkSignal::Down { peer } => *peer,
+        }
+    }
+
+    /// `true` for an [`LinkSignal::Up`] transition.
+    pub fn is_up(&self) -> bool {
+        matches!(self, LinkSignal::Up { .. })
+    }
+}
+
+/// Answer to "would a frame towards this next hop be accepted?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxAdmission {
+    /// The transport would take the frame.
+    Ok,
+    /// No link exists towards the next hop (connection not open /
+    /// never formed). The stack counts this as a `link_down` drop.
+    NoLink,
+    /// A link exists but the transport's queue is full right now.
+    Backpressure,
+}
+
+/// Bounded, ordered log of [`LinkSignal`]s with a saturating overflow
+/// counter — the shared bookkeeping both transports embed.
+#[derive(Debug, Clone)]
+pub struct SignalLog {
+    signals: Vec<LinkSignal>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl SignalLog {
+    /// A log keeping at most `cap` signals (oldest kept: ordering
+    /// checks need the *prefix* of the sequence, not its tail).
+    pub fn new(cap: usize) -> Self {
+        SignalLog {
+            signals: Vec::new(),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Append a signal (counted but discarded once the log is full).
+    pub fn push(&mut self, signal: LinkSignal) {
+        if self.signals.len() < self.cap {
+            self.signals.push(signal);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded signals, oldest first.
+    pub fn as_slice(&self) -> &[LinkSignal] {
+        &self.signals
+    }
+
+    /// Signals discarded because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The `net::stack` ↔ link-transport boundary.
+///
+/// Implemented by the connection transport (`ConnLink` in
+/// `mindgap-core`) and the advertising transport (`AdvLink` in
+/// `mindgap-adv`). The conformance harness in `mindgap-testbed`
+/// exercises both implementations through this trait.
+pub trait LinkService {
+    /// Largest 6LoWPAN frame this transport carries in one link-layer
+    /// SDU.
+    fn mtu(&self) -> usize;
+
+    /// Whether a frame towards `next_hop` would currently be accepted.
+    fn admit(&self, next_hop: LlAddr) -> TxAdmission;
+
+    /// Current neighbor set, in a deterministic transport-defined
+    /// order (connection transport: channel-establishment order;
+    /// advertising transport: discovery order).
+    fn neighbors(&self) -> Vec<LlAddr>;
+
+    /// Ordered link-up/down log since the transport started.
+    fn signals(&self) -> &[LinkSignal];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_log_bounds_and_orders() {
+        let mut log = SignalLog::new(2);
+        let a = LlAddr::from_node_index(1);
+        let b = LlAddr::from_node_index(2);
+        log.push(LinkSignal::Up { peer: a });
+        log.push(LinkSignal::Up { peer: b });
+        log.push(LinkSignal::Down { peer: a });
+        assert_eq!(
+            log.as_slice(),
+            &[LinkSignal::Up { peer: a }, LinkSignal::Up { peer: b }]
+        );
+        assert_eq!(log.dropped(), 1);
+        assert!(log.as_slice()[0].is_up());
+        assert_eq!(log.as_slice()[0].peer(), a);
+    }
+}

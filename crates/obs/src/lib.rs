@@ -340,6 +340,98 @@ impl StackMetrics {
     }
 }
 
+/// Metric id-set of the connection-less advertising transport
+/// (`mindgap-adv`). Registered **only** when a world runs in
+/// advertising mode, so connection-mode metric exports stay
+/// byte-identical to builds without this transport.
+#[derive(Debug, Clone, Copy)]
+pub struct AdvMetrics {
+    /// Advertising events run (events, sampled).
+    pub adv_events: CounterId,
+    /// Data trains completed — 3 PDUs each (trains, sampled).
+    pub adv_trains: CounterId,
+    /// Beacon trains completed (trains, sampled).
+    pub adv_beacon_trains: CounterId,
+    /// Individual advertising PDUs transmitted (frames, sampled).
+    pub adv_pdus_tx: CounterId,
+    /// Data PDUs received intact, pre-dedup (frames, sampled).
+    pub adv_pdus_rx: CounterId,
+    /// Beacon PDUs received (frames, sampled).
+    pub adv_beacons_rx: CounterId,
+    /// PDUs suppressed by the duplicate cache (frames, sampled).
+    pub adv_dups_suppressed: CounterId,
+    /// Frames delivered up to 6LoWPAN (frames, sampled).
+    pub adv_delivered: CounterId,
+    /// Broadcast frames re-queued for rebroadcast (frames, sampled).
+    pub adv_rebroadcasts: CounterId,
+    /// Frames refused at a full transmit queue (frames, sampled).
+    pub adv_queue_drops: CounterId,
+    /// Neighbor link-up edges (edges, sampled).
+    pub adv_neighbor_ups: CounterId,
+    /// Neighbor link-down edges (edges, sampled).
+    pub adv_neighbor_downs: CounterId,
+    /// Scan windows opened (windows, sampled).
+    pub adv_scan_windows: CounterId,
+    /// Current neighbor-table size (neighbors, gauge).
+    pub adv_neighbors: GaugeId,
+    /// Current transmit-queue depth (frames, gauge).
+    pub adv_queue_depth: GaugeId,
+}
+
+impl AdvMetrics {
+    /// Register the advertising-transport id-set on `reg`.
+    pub fn register(reg: &mut MetricsRegistry) -> Self {
+        use Layer::*;
+        AdvMetrics {
+            adv_events: reg.sampled(Ll, "ll_adv_events", "events", "advertising events run"),
+            adv_trains: reg.sampled(Ll, "ll_adv_trains", "trains", "data trains completed"),
+            adv_beacon_trains: reg.sampled(
+                Ll,
+                "ll_adv_beacon_trains",
+                "trains",
+                "beacon trains completed",
+            ),
+            adv_pdus_tx: reg.sampled(Ll, "ll_adv_pdus_tx", "frames", "advertising PDUs sent"),
+            adv_pdus_rx: reg.sampled(
+                Ll,
+                "ll_adv_pdus_rx",
+                "frames",
+                "data PDUs received (pre-dedup)",
+            ),
+            adv_beacons_rx: reg.sampled(Ll, "ll_adv_beacons_rx", "frames", "beacons received"),
+            adv_dups_suppressed: reg.sampled(
+                Ll,
+                "ll_adv_dups_suppressed",
+                "frames",
+                "duplicates suppressed",
+            ),
+            adv_delivered: reg.sampled(Ll, "ll_adv_delivered", "frames", "frames delivered up"),
+            adv_rebroadcasts: reg.sampled(
+                Ll,
+                "ll_adv_rebroadcasts",
+                "frames",
+                "broadcasts re-queued",
+            ),
+            adv_queue_drops: reg.sampled(
+                Ll,
+                "ll_adv_queue_drops",
+                "frames",
+                "frames refused at full queue",
+            ),
+            adv_neighbor_ups: reg.sampled(Ll, "ll_adv_neighbor_ups", "edges", "link-up edges"),
+            adv_neighbor_downs: reg.sampled(
+                Ll,
+                "ll_adv_neighbor_downs",
+                "edges",
+                "link-down edges",
+            ),
+            adv_scan_windows: reg.sampled(Ll, "ll_adv_scan_windows", "windows", "scan windows"),
+            adv_neighbors: reg.gauge(Ll, "ll_adv_neighbors", "neighbors", "neighbor-table size"),
+            adv_queue_depth: reg.gauge(Ll, "ll_adv_queue_depth", "frames", "tx-queue depth"),
+        }
+    }
+}
+
 /// Everything a simulator world owns for observability: the registry,
 /// the pre-registered [`StackMetrics`] ids, and the timeline.
 #[derive(Debug)]

@@ -114,6 +114,38 @@ pub enum Span {
         /// Second numeric payload (`u64::MAX` when unused).
         b: u64,
     },
+    /// The advertising transport started a train (connection-less
+    /// transport only; see DESIGN.md §10).
+    AdvTrain {
+        /// Per-advertiser sequence number of the PDU.
+        seq: u16,
+        /// Transmit-queue depth at train start.
+        queued: u16,
+        /// Whether this is an empty beacon train.
+        beacon: bool,
+    },
+    /// A scan window opened on an advertising channel.
+    ScanWindow {
+        /// Advertising channel (37..=39).
+        channel: u8,
+    },
+    /// A received advertising PDU was suppressed as a duplicate.
+    AdvDuplicate {
+        /// Per-hop sender of the duplicate.
+        advertiser: u16,
+        /// Its sequence number.
+        seq: u16,
+    },
+    /// The advertising transport heard a new neighbor.
+    NeighborUp {
+        /// The neighbor.
+        peer: NodeId,
+    },
+    /// An advertising-transport neighbor fell silent.
+    NeighborDown {
+        /// The neighbor.
+        peer: NodeId,
+    },
 }
 
 impl Span {
@@ -130,6 +162,11 @@ impl Span {
             Span::RplParentSwitch { .. } => "rpl_parent_switch",
             Span::MbufExhausted { .. } => "mbuf_exhausted",
             Span::Fault { label, .. } => label,
+            Span::AdvTrain { .. } => "adv_train",
+            Span::ScanWindow { .. } => "scan_window",
+            Span::AdvDuplicate { .. } => "adv_duplicate",
+            Span::NeighborUp { .. } => "neighbor_up",
+            Span::NeighborDown { .. } => "neighbor_down",
         }
     }
 }
@@ -264,6 +301,15 @@ impl Timeline {
                     (a != u64::MAX).then_some(a),
                     (b != u64::MAX).then_some(b),
                 ),
+                Span::AdvTrain { seq, queued, .. } => {
+                    (None, Some(seq as u64), Some(queued as u64))
+                }
+                Span::ScanWindow { channel } => (None, Some(channel as u64), None),
+                Span::AdvDuplicate { advertiser, seq } => {
+                    (None, Some(advertiser as u64), Some(seq as u64))
+                }
+                Span::NeighborUp { peer } => (None, Some(peer.0 as u64), None),
+                Span::NeighborDown { peer } => (None, Some(peer.0 as u64), None),
             };
             s.push_str(&format!(
                 "{},{},{},{},{},{}\n",
@@ -328,6 +374,15 @@ fn push_jsonl(s: &mut String, ev: &TimelineEvent) {
         }
         Span::MbufExhausted { conn } => write!(s, ",\"conn\":{conn}"),
         Span::Fault { a, b, .. } => write!(s, ",\"a\":{a},\"b\":{b}"),
+        Span::AdvTrain { seq, queued, beacon } => {
+            write!(s, ",\"seq\":{seq},\"queued\":{queued},\"beacon\":{beacon}")
+        }
+        Span::ScanWindow { channel } => write!(s, ",\"channel\":{channel}"),
+        Span::AdvDuplicate { advertiser, seq } => {
+            write!(s, ",\"advertiser\":{advertiser},\"seq\":{seq}")
+        }
+        Span::NeighborUp { peer } => write!(s, ",\"peer\":{}", peer.0),
+        Span::NeighborDown { peer } => write!(s, ",\"peer\":{}", peer.0),
     };
     s.push_str("}\n");
 }

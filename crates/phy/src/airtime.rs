@@ -61,6 +61,29 @@ pub fn ble_adv_1m(payload_len: u32) -> Duration {
     Duration::from_micros(((BLE_1M_OVERHEAD_BYTES + 6 + payload_len) * 8) as u64)
 }
 
+/// Maximum advertising data in one extended-advertising PDU
+/// (AUX_ADV_IND): 255 B LL payload minus the extended header.
+pub const BLE_EXT_ADV_MAX_PAYLOAD: u32 = 255 - BLE_EXT_ADV_HEADER_BYTES;
+
+/// Extended-advertising header inside the LL payload: extended header
+/// length/mode (1 B) + flags (1 B) + AdvA (6 B) + ADI (2 B) = 10 B.
+pub const BLE_EXT_ADV_HEADER_BYTES: u32 = 10;
+
+/// Airtime of an extended-advertising PDU carrying `payload_len` bytes
+/// of advertising data on the 1M PHY. Extended advertising (Bluetooth
+/// 5.0, Vol 6 Part B §2.3.4) lifts the 31 B legacy limit to 255 B of
+/// LL payload — enough for a whole compressed 6LoWPAN frame, which is
+/// what makes the connection-less IPv6 transport possible at all.
+pub fn ble_adv_ext_1m(payload_len: u32) -> Duration {
+    debug_assert!(
+        payload_len <= BLE_EXT_ADV_MAX_PAYLOAD,
+        "extended advertising payload {payload_len} exceeds {BLE_EXT_ADV_MAX_PAYLOAD} B"
+    );
+    Duration::from_micros(
+        ((BLE_1M_OVERHEAD_BYTES + BLE_EXT_ADV_HEADER_BYTES + payload_len) * 8) as u64,
+    )
+}
+
 /// IEEE 802.15.4 2.4 GHz O-QPSK: 62.5 ksymbols/s, 4 bits/symbol
 /// → 32 µs per byte.
 pub const IEEE802154_US_PER_BYTE: u64 = 32;
@@ -121,6 +144,15 @@ mod tests {
     fn adv_pdu_with_31b_payload() {
         // 10 + 6 + 31 = 47 B → 376 µs
         assert_eq!(ble_adv_1m(31), Duration::from_micros(376));
+    }
+
+    #[test]
+    fn ext_adv_pdu_airtime() {
+        // 10 + 10 + 100 = 120 B → 960 µs: a full compressed 6LoWPAN
+        // frame fits in one extended-advertising PDU at ~1 ms on air.
+        assert_eq!(ble_adv_ext_1m(100), Duration::from_micros(960));
+        // Largest PDU stays close to a full DLE data PDU.
+        assert_eq!(ble_adv_ext_1m(BLE_EXT_ADV_MAX_PAYLOAD), Duration::from_micros(2120));
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub use channel::{
     Band, Channel, BLE_ADV_CHANNELS, BLE_ADV_FIRST, BLE_DATA_CHANNELS, BLE_JAMMED_CHANNEL,
     CHANNEL_TABLE_SIZE,
 };
-pub use loss::{GilbertElliott, LossConfig, NoiseModel};
+pub use loss::{GilbertElliott, LossConfig, NoiseModel, PathLossConfig};
 pub use medium::{Medium, MediumConfig, RxOutcome, TxId, TxParams};

@@ -9,7 +9,8 @@
 use mindgap_chaos::recovery::FaultRecovery;
 use mindgap_chaos::FaultSchedule;
 use mindgap_core::{
-    AppConfig, IeeeConfig, IeeeWorld, IntervalPolicy, Records, World, WorldConfig,
+    AdvConfig, AppConfig, IeeeConfig, IeeeWorld, IntervalPolicy, Records, TransportMode, World,
+    WorldConfig,
 };
 use mindgap_sim::{Duration, Instant, NodeId};
 
@@ -45,6 +46,15 @@ pub struct ExperimentSpec {
     /// `None` keeps the policy default). Must exceed the largest
     /// drawable connection interval.
     pub supervision_timeout: Option<Duration>,
+    /// Link transport: connection-oriented L2CAP (the paper's path,
+    /// default) or connection-less extended advertising (BLE only).
+    pub transport: TransportMode,
+    /// Extra static packet-error rate per link, `(a, b, per)`,
+    /// installed symmetrically after world construction (BLE only).
+    /// Empty leaves the medium untouched.
+    pub link_per: Vec<(u16, u16, f64)>,
+    /// CoAP request payload bytes (default: the paper's 39, §4.3).
+    pub payload: usize,
 }
 
 impl ExperimentSpec {
@@ -63,6 +73,9 @@ impl ExperimentSpec {
             timeline_cap: 1 << 16,
             faults: None,
             supervision_timeout: None,
+            transport: TransportMode::Conn,
+            link_per: Vec::new(),
+            payload: mindgap_core::COAP_PAYLOAD,
         }
     }
 
@@ -106,6 +119,29 @@ impl ExperimentSpec {
     /// Override the supervision timeout (BLE only).
     pub fn with_supervision_timeout(mut self, timeout: Duration) -> Self {
         self.supervision_timeout = Some(timeout);
+        self
+    }
+
+    /// Select the link transport (BLE only).
+    pub fn with_transport(mut self, transport: TransportMode) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Switch to the advertising transport with its default tuning.
+    pub fn with_adv_transport(self) -> Self {
+        self.with_transport(TransportMode::Adv(AdvConfig::default()))
+    }
+
+    /// Add a static symmetric packet-error rate on one link (BLE only).
+    pub fn with_link_per(mut self, a: u16, b: u16, per: f64) -> Self {
+        self.link_per.push((a, b, per));
+        self
+    }
+
+    /// Override the CoAP request payload size.
+    pub fn with_payload(mut self, payload: usize) -> Self {
+        self.payload = payload;
         self
     }
 }
@@ -153,13 +189,18 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
         producer_interval: spec.producer_interval,
         producer_jitter: spec.producer_jitter,
         warmup: spec.warmup,
+        payload: spec.payload,
         ..AppConfig::paper_default(spec.topology.producers(), spec.topology.consumer)
     };
     let mut cfg = WorldConfig::paper_default(spec.seed, spec.policy);
     cfg.clock_ppm_range = spec.clock_ppm_range;
     cfg.timeline_cap = spec.timeline_cap;
     cfg.supervision_timeout = spec.supervision_timeout;
+    cfg.transport = spec.transport;
     let mut world = World::new(cfg, spec.topology.node_configs(), app);
+    for &(a, b, per) in &spec.link_per {
+        world.set_link_per(NodeId(a), NodeId(b), per);
+    }
     if let Some(faults) = &spec.faults {
         world.install_faults(faults);
     }
@@ -177,10 +218,14 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     let skipped_events = (0..n as u16)
         .map(|i| world.ll_counters(NodeId(i)).skipped_events)
         .collect();
+    let transport_label = match spec.transport {
+        TransportMode::Conn => spec.policy.label(),
+        TransportMode::Adv(_) => "adv".to_string(),
+    };
     let label = format!(
         "{} {} producer={}ms",
         spec.topology.name,
-        spec.policy.label(),
+        transport_label,
         spec.producer_interval.millis()
     );
     let trace_dropped = world.trace.dropped();
@@ -221,6 +266,7 @@ pub fn run_ieee(spec: &ExperimentSpec) -> ExperimentResult {
         producer_interval: spec.producer_interval,
         producer_jitter: spec.producer_jitter,
         warmup: spec.warmup,
+        payload: spec.payload,
         ..AppConfig::paper_default(spec.topology.producers(), spec.topology.consumer)
     };
     let cfg = IeeeConfig::paper_default(spec.seed);
@@ -301,6 +347,61 @@ mod tests {
         let reconnect = r.reconnect_ns.expect("crash must be recovered");
         assert!(reconnect > detect, "reconnect after detect");
         assert!(reconnect < 120_000_000_000, "reconnect {reconnect} ns");
+    }
+
+    #[test]
+    fn quick_adv_line_run_delivers() {
+        let spec = ExperimentSpec::paper_default(
+            Topology::line(3),
+            IntervalPolicy::Static(Duration::from_millis(75)),
+            42,
+        )
+        .with_duration(Duration::from_secs(60))
+        .with_adv_transport();
+        let res = run_ble(&spec);
+        assert!(res.label.contains("adv"), "{}", res.label);
+        assert!(res.records.total_sent() > 50, "{}", res.records.total_sent());
+        assert!(
+            res.records.coap_pdr() > 0.5,
+            "adv line PDR {}",
+            res.records.coap_pdr()
+        );
+    }
+
+    #[test]
+    fn quick_adv_tree_run_delivers() {
+        let spec = ExperimentSpec::paper_default(
+            Topology::paper_tree(),
+            IntervalPolicy::Static(Duration::from_millis(75)),
+            42,
+        )
+        .with_duration(Duration::from_secs(60))
+        .with_adv_transport();
+        let res = run_ble(&spec);
+        assert!(res.records.total_sent() > 100, "{}", res.records.total_sent());
+        assert!(
+            res.records.coap_pdr() > 0.5,
+            "adv tree PDR {}",
+            res.records.coap_pdr()
+        );
+    }
+
+    #[test]
+    fn link_per_degrades_delivery() {
+        let base = ExperimentSpec::paper_default(
+            Topology::line(3),
+            IntervalPolicy::Static(Duration::from_millis(75)),
+            42,
+        )
+        .with_duration(Duration::from_secs(60));
+        let clean = run_ble(&base);
+        let lossy = run_ble(&base.clone().with_link_per(0, 1, 0.6).with_link_per(1, 2, 0.6));
+        assert!(
+            lossy.records.ll_attempts() > clean.records.ll_attempts(),
+            "loss must force LL retransmissions ({} vs {})",
+            lossy.records.ll_attempts(),
+            clean.records.ll_attempts()
+        );
     }
 
     #[test]
