@@ -54,6 +54,7 @@ fn bench_medium() {
         n_nodes: 15,
         loss: LossConfig::ble_default(),
         seed: 1,
+        radio_links: None,
     });
     let listeners: Vec<NodeId> = (0..15).map(NodeId).collect();
     let mut t = 0u64;

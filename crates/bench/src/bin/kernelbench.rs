@@ -38,7 +38,7 @@ use mindgap_bench::microbench;
 use mindgap_campaign::json::Value;
 use mindgap_core::IntervalPolicy;
 use mindgap_sim::Duration;
-use mindgap_testbed::{run_ble, ExperimentSpec, Topology};
+use mindgap_testbed::{run_ble, ExperimentSpec, MeshTopology, Topology};
 
 /// Default fraction of the committed events/sec a `--check` run must
 /// reach (override with `--floor`).
@@ -108,6 +108,11 @@ struct Measurement {
     events: u64,
     /// Best wall time over the reps, seconds.
     wall_s: f64,
+    /// Peak RSS growth while running this workload, KiB (Linux VmHWM
+    /// delta; 0 where the kernel interface is unavailable). Memory
+    /// regressions — an O(n²) structure sneaking back in — show here
+    /// before they show in wall time.
+    peak_rss_kb: u64,
 }
 
 impl Measurement {
@@ -119,33 +124,84 @@ impl Measurement {
     }
 }
 
+/// Reset the process peak-RSS watermark (Linux: `clear_refs` code 5).
+/// Best-effort — on other platforms the watermark just never resets
+/// and the per-workload delta reads 0.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Current peak RSS in KiB (Linux `VmHWM`; 0 elsewhere).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
 fn measure(args: &Args) -> Vec<Measurement> {
     let duration = if args.full {
         Duration::from_secs(3600)
     } else {
         Duration::from_secs(600)
     };
+    // The scaling workload simulates less time: at n=500 each
+    // simulated second carries ~40× the fig07 event load.
+    let mesh_duration = if args.full {
+        Duration::from_secs(600)
+    } else {
+        Duration::from_secs(120)
+    };
     let policy = IntervalPolicy::Static(Duration::from_millis(75));
-    type Workload = (&'static str, fn() -> Topology);
-    let workloads: [Workload; 2] = [
-        ("fig07-tree", Topology::paper_tree),
-        ("fig07-line", Topology::paper_line),
+    let mesh_policy = IntervalPolicy::Randomized {
+        lo: Duration::from_millis(65),
+        hi: Duration::from_millis(85),
+    };
+    let workloads: Vec<(&'static str, ExperimentSpec)> = vec![
+        (
+            "fig07-tree",
+            ExperimentSpec::paper_default(Topology::paper_tree(), policy, args.seed)
+                .with_duration(duration),
+        ),
+        (
+            "fig07-line",
+            ExperimentSpec::paper_default(Topology::paper_line(), policy, args.seed)
+                .with_duration(duration),
+        ),
+        (
+            // The scaling workload: 500 nodes placed uniformly in an
+            // 800 m square (mean radio degree ≈ 11), RPL over
+            // degree-capped statconn edges, randomized intervals.
+            "n500-geo",
+            ExperimentSpec::mesh_default(
+                MeshTopology::random_geometric(500, 800.0, args.seed),
+                mesh_policy,
+                args.seed,
+            )
+            .with_duration(mesh_duration),
+        ),
     ];
     let mut out = Vec::new();
-    for (name, topo) in workloads {
-        let spec = ExperimentSpec::paper_default(topo(), policy, args.seed)
-            .with_duration(duration);
+    for (name, spec) in workloads {
         // Simulated span mirrors run_ble: warmup + measured + 10 s drain.
-        let sim_s = (spec.warmup + duration + Duration::from_secs(10)).nanos() as f64 / 1e9;
+        let sim_s = (spec.warmup + spec.duration + Duration::from_secs(10)).nanos() as f64 / 1e9;
         let mut events = 0u64;
+        reset_peak_rss();
+        let rss_before = peak_rss_kb();
         let walls = microbench::samples_n(args.reps, || {
             events = run_ble(&spec).events_processed;
         });
+        let peak_rss = peak_rss_kb().saturating_sub(rss_before);
         out.push(Measurement {
             name,
             sim_s,
             events,
             wall_s: walls[0].as_secs_f64(),
+            peak_rss_kb: peak_rss,
         });
     }
     out
@@ -154,17 +210,18 @@ fn measure(args: &Args) -> Vec<Measurement> {
 fn print_table(title: &str, ms: &[Measurement]) {
     microbench::group(title);
     println!(
-        "{:<12} {:>12} {:>10} {:>14} {:>14}",
-        "workload", "events", "wall", "events/sec", "sim-s/wall-s"
+        "{:<12} {:>12} {:>10} {:>14} {:>14} {:>12}",
+        "workload", "events", "wall", "events/sec", "sim-s/wall-s", "peak-rss"
     );
     for m in ms {
         println!(
-            "{:<12} {:>12} {:>9.3}s {:>14.0} {:>14.0}",
+            "{:<12} {:>12} {:>9.3}s {:>14.0} {:>14.0} {:>9} KiB",
             m.name,
             m.events,
             m.wall_s,
             m.events_per_sec(),
-            m.sim_per_wall()
+            m.sim_per_wall(),
+            m.peak_rss_kb
         );
     }
     let (events, wall): (u64, f64) = (ms.iter().map(|m| m.events).sum(), ms.iter().map(|m| m.wall_s).sum());
@@ -186,6 +243,7 @@ fn results_obj(label: &str, ms: &[Measurement]) -> Value {
         o.insert("events_per_sec".into(), Value::Num(m.events_per_sec()));
         o.insert("sim_s".into(), Value::Num(m.sim_s));
         o.insert("sim_s_per_wall_s".into(), Value::Num(m.sim_per_wall()));
+        o.insert("peak_rss_kb".into(), Value::Num(m.peak_rss_kb as f64));
         workloads.insert(m.name.to_string(), Value::Obj(o));
     }
     let mut obj = BTreeMap::new();

@@ -69,6 +69,7 @@ impl MiniWorld {
                 n_nodes: n,
                 loss,
                 seed: rng.next_u64(),
+                radio_links: None,
             }),
             lls,
             listening: vec![None; n],

@@ -102,6 +102,7 @@ impl IeeeWorld {
             n_nodes: n,
             loss: cfg.loss,
             seed: rng.fork(0xF00D).next_u64(),
+            radio_links: None,
         });
         let channel = Channel::ieee802154(cfg.mac.channel);
         let nodes = node_cfgs

@@ -42,15 +42,23 @@ pub struct RplConfig {
     pub tick: Duration,
     /// Detach after this many missed parent beacons.
     pub staleness_ticks: u32,
+    /// Refresh the DAO towards the parent every this many ticks.
+    /// Reparenting always announces immediately, and installed host
+    /// routes never expire, so the periodic DAO is pure redundancy —
+    /// large meshes stretch it to keep the aggregate DAO funnel at the
+    /// root from exhausting relay buffers.
+    pub dao_period_ticks: u32,
 }
 
 impl RplConfig {
-    /// Defaults: 5 s ticks, detach after 3 missed beacons.
+    /// Defaults: 5 s ticks, detach after 3 missed beacons, DAO refresh
+    /// every tick.
     pub fn new(is_root: bool) -> Self {
         RplConfig {
             is_root,
             tick: Duration::from_secs(5),
             staleness_ticks: 3,
+            dao_period_ticks: 1,
         }
     }
 }
@@ -129,6 +137,8 @@ pub struct RplAgent {
     seq: u8,
     /// Ticks since the parent's beacon was last refreshed.
     stale: u32,
+    /// Ticks elapsed (gates the periodic DAO refresh).
+    ticks: u32,
     /// Parent switches performed (diagnostic).
     pub reparents: u64,
 }
@@ -143,6 +153,7 @@ impl RplAgent {
             parent: None,
             seq: 0,
             stale: 0,
+            ticks: 0,
             reparents: 0,
         }
     }
@@ -165,6 +176,7 @@ impl RplAgent {
     /// Periodic tick: age the parent, emit beacons/announcements.
     pub fn on_tick(&mut self, _now: Instant, routing: &mut RoutingTable) -> Vec<RplSend> {
         let mut out = Vec::new();
+        self.ticks = self.ticks.wrapping_add(1);
         if self.cfg.is_root {
             self.seq = self.seq.wrapping_add(1);
             out.push(RplSend {
@@ -192,10 +204,12 @@ impl RplAgent {
                         seq: self.seq,
                     },
                 });
-                out.push(RplSend {
-                    to: parent,
-                    msg: RplMsg::Dao { origin: self.addr },
-                });
+                if self.ticks.is_multiple_of(self.cfg.dao_period_ticks.max(1)) {
+                    out.push(RplSend {
+                        to: parent,
+                        msg: RplMsg::Dao { origin: self.addr },
+                    });
+                }
             }
             None => {
                 // Poison: keep telling (possibly stale) children that

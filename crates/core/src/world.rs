@@ -136,6 +136,12 @@ pub struct WorldConfig {
     /// paper's future-work direction; see `mindgap_core::rpl`). The
     /// consumer acts as DODAG root.
     pub dynamic_routing: bool,
+    /// Periodic DAO refresh cadence for the routing agent, in routing
+    /// ticks (`1` = every tick, the small-testbed default). Large
+    /// meshes stretch this: every node's DAO funnels hop-by-hop to the
+    /// root, so near-root relays forward O(subtree) DAOs per refresh
+    /// and exhaust their buffer pools when the cadence is too hot.
+    pub rpl_dao_period_ticks: u32,
     /// Time-bucket width for records.
     pub record_bucket: Duration,
     /// Observability timeline capacity in events (ring buffer; `0`
@@ -150,6 +156,10 @@ pub struct WorldConfig {
     /// [`TransportMode::Adv`] swaps in the connection-less
     /// advertising transport behind the same [`LinkService`] boundary.
     pub transport: TransportMode,
+    /// Radio adjacency: `Some(links)` puts only the listed unordered
+    /// pairs in radio range (large generated meshes); `None` keeps the
+    /// paper's shared-room default where everyone hears everyone.
+    pub radio_links: Option<Vec<(u16, u16)>>,
 }
 
 impl WorldConfig {
@@ -164,10 +174,12 @@ impl WorldConfig {
             jam_channel_22: true,
             conn_channel_map: mindgap_ble::channels::ChannelMap::all_except_jammed(),
             dynamic_routing: false,
+            rpl_dao_period_ticks: 1,
             record_bucket: Duration::from_secs(60),
             timeline_cap: 1 << 16,
             supervision_timeout: None,
             transport: TransportMode::Conn,
+            radio_links: None,
         }
     }
 }
@@ -438,10 +450,11 @@ fn make_node(
     stack.bind_udp(COAP_PORT);
     let rpl = if cfg.dynamic_routing {
         stack.bind_udp(RPL_PORT);
-        Some(RplAgent::new(
-            Ipv6Addr::of_node(id.0),
-            RplConfig::new(id == consumer),
-        ))
+        Some(RplAgent::new(Ipv6Addr::of_node(id.0), {
+            let mut rc = RplConfig::new(id == consumer);
+            rc.dao_period_ticks = cfg.rpl_dao_period_ticks;
+            rc
+        }))
     } else {
         None
     };
@@ -482,6 +495,7 @@ impl World {
             n_nodes: n,
             loss: cfg.loss,
             seed: rng.fork(0xF00D).next_u64(),
+            radio_links: cfg.radio_links.clone(),
         });
         if cfg.jam_channel_22 {
             medium.set_channel_interference(Channel::ble_data(BLE_JAMMED_CHANNEL), 0.97);
@@ -1013,11 +1027,20 @@ impl World {
         self.free_tx.push(slot);
         // Candidate listeners come from the per-channel index (kept
         // node-ascending) filtered by their listen window; the medium
-        // then draws per-listener verdicts in that order.
+        // then draws per-listener verdicts in that order. Out-of-range
+        // listeners are dropped up front: the medium draws no RNG for
+        // them (OutOfRange short-circuits before the noise chain) and
+        // every consumer below filters on `is_ok()`, so skipping them
+        // is draw- and behavior-neutral — it just keeps adv-channel
+        // broadcasts in a 1000-node mesh from fanning out to all n.
         let mut cand = std::mem::take(&mut self.cand_scratch);
         for &ni in &self.listeners_by_channel[fl.channel.table_index()] {
             if let Some((_, ch, since, until)) = self.listening[ni as usize] {
-                if ch == fl.channel && since <= fl.start && until >= now {
+                if ch == fl.channel
+                    && since <= fl.start
+                    && until >= now
+                    && self.medium.hears(fl.src, NodeId(ni))
+                {
                     cand.push(NodeId(ni));
                 }
             }

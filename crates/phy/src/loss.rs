@@ -18,6 +18,7 @@
 
 use crate::channel::{Channel, CHANNEL_TABLE_SIZE};
 use mindgap_sim::Rng;
+use std::collections::HashMap;
 
 /// Parameters of the Gilbert–Elliott process (per frame).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,33 +135,166 @@ impl GilbertElliott {
     }
 }
 
+/// Per-directed-link state: the burst chain plus the static loss
+/// override the chaos engine scripts PER ramps through.
+#[derive(Debug, Clone)]
+struct LinkState {
+    chain: GilbertElliott,
+    extra: f64,
+}
+
+/// Storage backing [`NoiseModel`]: dense per-pair for the shared-room
+/// default, CSR per-*link* when the topology is sparse.
+#[derive(Debug)]
+enum LinkStore {
+    /// One entry per ordered node pair, indexed `src*n + dst`.
+    Dense(Vec<LinkState>),
+    /// One entry per *directed radio link* in CSR form: row `src`'s
+    /// neighbours are `col[row_start[src]..row_start[src+1]]`, sorted,
+    /// with `state` parallel to `col`. Pairs outside the link set
+    /// (possible when a caller re-ranges the medium at runtime) fall
+    /// back to `overflow`, created lazily — `GilbertElliott::new`
+    /// draws no RNG, so lazy creation never perturbs the draw stream.
+    Sparse {
+        row_start: Vec<u32>,
+        col: Vec<u16>,
+        state: Vec<LinkState>,
+        overflow: HashMap<(u16, u16), LinkState>,
+    },
+}
+
 /// Channel-error model for the whole medium: one Gilbert–Elliott chain
 /// per directed link plus static per-channel loss offsets.
 #[derive(Debug)]
 pub struct NoiseModel {
-    link_chains: Vec<GilbertElliott>,
+    store: LinkStore,
+    /// Template for lazily-created overflow chains.
+    cfg: LossConfig,
     n_nodes: usize,
     /// Additional independent loss probability per channel
     /// (e.g. jammed BLE channel 22 → ≈ 0.97).
     channel_extra: [f64; CHANNEL_TABLE_SIZE],
-    /// Additional independent loss probability per directed link,
-    /// channel-agnostic. All zero by default; the chaos engine uses it
-    /// for scripted PER ramps (1.0 = blackout). Indexed `src*n + dst`.
-    link_extra: Vec<f64>,
 }
 
 impl NoiseModel {
     /// A model for `n_nodes` nodes with the same link config everywhere
-    /// and no channel-specific interference.
+    /// and no channel-specific interference. Holds state for every
+    /// ordered pair — O(n²) memory, fine for room-sized worlds.
     pub fn uniform(n_nodes: usize, cfg: LossConfig) -> Self {
         cfg.validate();
         NoiseModel {
-            link_chains: (0..n_nodes * n_nodes)
-                .map(|_| GilbertElliott::new(cfg))
-                .collect(),
+            store: LinkStore::Dense(vec![
+                LinkState {
+                    chain: GilbertElliott::new(cfg),
+                    extra: 0.0,
+                };
+                n_nodes * n_nodes
+            ]),
+            cfg,
             n_nodes,
             channel_extra: [0.0; CHANNEL_TABLE_SIZE],
-            link_extra: vec![0.0; n_nodes * n_nodes],
+        }
+    }
+
+    /// A model that holds channel-error state only for the directed
+    /// links actually in range — O(nodes + links) memory instead of
+    /// O(n²). Each unordered pair in `links` gets two independent
+    /// chains, one per direction, exactly like [`NoiseModel::uniform`].
+    /// Queries on pairs outside the link set still work (a state is
+    /// created on first touch), so runtime re-ranging stays correct.
+    pub fn sparse(n_nodes: usize, cfg: LossConfig, links: &[(u16, u16)]) -> Self {
+        cfg.validate();
+        let mut degree = vec![0u32; n_nodes];
+        for &(a, b) in links {
+            assert!(
+                (a as usize) < n_nodes && (b as usize) < n_nodes,
+                "link ({a},{b}) out of range for {n_nodes} nodes"
+            );
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut row_start = Vec::with_capacity(n_nodes + 1);
+        let mut acc = 0u32;
+        for &d in &degree {
+            row_start.push(acc);
+            acc += d;
+        }
+        row_start.push(acc);
+        let mut col = vec![0u16; acc as usize];
+        let mut fill = row_start.clone();
+        for &(a, b) in links {
+            col[fill[a as usize] as usize] = b;
+            fill[a as usize] += 1;
+            col[fill[b as usize] as usize] = a;
+            fill[b as usize] += 1;
+        }
+        for r in 0..n_nodes {
+            col[row_start[r] as usize..row_start[r + 1] as usize].sort_unstable();
+        }
+        let state = vec![
+            LinkState {
+                chain: GilbertElliott::new(cfg),
+                extra: 0.0,
+            };
+            acc as usize
+        ];
+        NoiseModel {
+            store: LinkStore::Sparse {
+                row_start,
+                col,
+                state,
+                overflow: HashMap::new(),
+            },
+            cfg,
+            n_nodes,
+            channel_extra: [0.0; CHANNEL_TABLE_SIZE],
+        }
+    }
+
+    /// Mutable state for one directed link, creating overflow state on
+    /// first touch of an unlisted pair in sparse mode.
+    fn link_state(&mut self, src: usize, dst: usize) -> &mut LinkState {
+        debug_assert!(src < self.n_nodes && dst < self.n_nodes);
+        match &mut self.store {
+            LinkStore::Dense(states) => &mut states[src * self.n_nodes + dst],
+            LinkStore::Sparse {
+                row_start,
+                col,
+                state,
+                overflow,
+            } => {
+                let row = &col[row_start[src] as usize..row_start[src + 1] as usize];
+                match row.binary_search(&(dst as u16)) {
+                    Ok(i) => &mut state[row_start[src] as usize + i],
+                    Err(_) => overflow
+                        .entry((src as u16, dst as u16))
+                        .or_insert_with(|| LinkState {
+                            chain: GilbertElliott::new(self.cfg),
+                            extra: 0.0,
+                        }),
+                }
+            }
+        }
+    }
+
+    /// Shared-ref lookup; `None` for an unlisted sparse pair that has
+    /// never been touched (whose state is the pristine default).
+    fn link_state_ref(&self, src: usize, dst: usize) -> Option<&LinkState> {
+        debug_assert!(src < self.n_nodes && dst < self.n_nodes);
+        match &self.store {
+            LinkStore::Dense(states) => Some(&states[src * self.n_nodes + dst]),
+            LinkStore::Sparse {
+                row_start,
+                col,
+                state,
+                overflow,
+            } => {
+                let row = &col[row_start[src] as usize..row_start[src + 1] as usize];
+                match row.binary_search(&(dst as u16)) {
+                    Ok(i) => Some(&state[row_start[src] as usize + i]),
+                    Err(_) => overflow.get(&(src as u16, dst as u16)),
+                }
+            }
         }
     }
 
@@ -168,13 +302,12 @@ impl NoiseModel {
     /// (on top of the Gilbert–Elliott chain; `1.0` blacks it out).
     pub fn set_link_extra(&mut self, src: usize, dst: usize, per: f64) {
         assert!((0.0..=1.0).contains(&per), "per {per} out of [0,1]");
-        debug_assert!(src < self.n_nodes && dst < self.n_nodes);
-        self.link_extra[src * self.n_nodes + dst] = per;
+        self.link_state(src, dst).extra = per;
     }
 
     /// Static loss probability configured on a directed link.
     pub fn link_extra(&self, src: usize, dst: usize) -> f64 {
-        self.link_extra[src * self.n_nodes + dst]
+        self.link_state_ref(src, dst).map_or(0.0, |s| s.extra)
     }
 
     /// Set an additional static loss probability on one channel.
@@ -197,19 +330,38 @@ impl NoiseModel {
         channel: Channel,
         rng: &mut Rng,
     ) -> bool {
-        debug_assert!(src < self.n_nodes && dst < self.n_nodes);
-        let chain = &mut self.link_chains[src * self.n_nodes + dst];
-        if chain.frame_lost(rng) {
+        let state = self.link_state(src, dst);
+        if state.chain.frame_lost(rng) {
             return true;
         }
         // Both overrides draw only when active, so installing none
         // keeps the RNG draw sequence identical to a run without them.
-        let link = self.link_extra[src * self.n_nodes + dst];
+        let link = state.extra;
         if link > 0.0 && rng.chance(link) {
             return true;
         }
         let extra = self.channel_extra[channel.table_index()];
         extra > 0.0 && rng.chance(extra)
+    }
+
+    /// Approximate heap bytes held by the per-link state.
+    pub fn approx_mem_bytes(&self) -> usize {
+        let st = std::mem::size_of::<LinkState>();
+        match &self.store {
+            LinkStore::Dense(states) => states.capacity() * st,
+            LinkStore::Sparse {
+                row_start,
+                col,
+                state,
+                overflow,
+            } => {
+                row_start.capacity() * 4
+                    + col.capacity() * 2
+                    + state.capacity() * st
+                    // HashMap overhead approximated at 2x entry size.
+                    + overflow.len() * 2 * (st + 4)
+            }
+        }
     }
 }
 
@@ -403,6 +555,51 @@ mod tests {
         assert_eq!(nm.link_extra(0, 1), 1.0);
         nm.set_link_extra(0, 1, 0.0);
         assert!((0..100).all(|_| !nm.frame_lost(0, 1, Channel::ble_data(5), &mut rng)));
+    }
+
+    #[test]
+    fn sparse_matches_uniform_draw_sequence_on_listed_links() {
+        // On links that exist in the sparse store, the chains and the
+        // RNG draw sequence must be indistinguishable from the dense
+        // model's: same verdicts from the same RNG stream.
+        let cfg = LossConfig::ble_default();
+        let mut dense = NoiseModel::uniform(4, cfg);
+        let mut sp = NoiseModel::sparse(4, cfg, &[(0, 1), (2, 3), (1, 2)]);
+        let mut r1 = Rng::seed_from_u64(11);
+        let mut r2 = Rng::seed_from_u64(11);
+        for i in 0..5_000usize {
+            let (s, d) = [(0usize, 1usize), (1, 0), (2, 3), (1, 2)][i % 4];
+            let ch = Channel::ble_data((i % 37) as u8);
+            assert_eq!(
+                dense.frame_lost(s, d, ch, &mut r1),
+                sp.frame_lost(s, d, ch, &mut r2),
+                "divergence at frame {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_unlisted_pairs_work_via_overflow() {
+        let mut sp = NoiseModel::sparse(3, LossConfig::LOSSLESS, &[(0, 1)]);
+        let mut rng = Rng::seed_from_u64(12);
+        assert_eq!(sp.link_extra(0, 2), 0.0);
+        assert!(!sp.frame_lost(0, 2, Channel::ble_data(5), &mut rng));
+        sp.set_link_extra(0, 2, 1.0);
+        assert!((0..50).all(|_| sp.frame_lost(0, 2, Channel::ble_data(5), &mut rng)));
+        assert_eq!(sp.link_extra(0, 2), 1.0);
+        // Listed links are unaffected by the overflow entry.
+        assert!(!sp.frame_lost(0, 1, Channel::ble_data(5), &mut rng));
+    }
+
+    #[test]
+    fn sparse_memory_is_linear_in_links() {
+        // A 1000-node path has 999 links → 1998 directed states; the
+        // dense model would hold 10⁶ (≈ 48 MB).
+        let n = 1000;
+        let links: Vec<(u16, u16)> = (0..n as u16 - 1).map(|i| (i, i + 1)).collect();
+        let sp = NoiseModel::sparse(n, LossConfig::ble_default(), &links);
+        let bytes = sp.approx_mem_bytes();
+        assert!(bytes < 200 * 1024, "sparse noise holds {bytes} bytes");
     }
 
     #[test]

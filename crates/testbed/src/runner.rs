@@ -14,13 +14,24 @@ use mindgap_core::{
 };
 use mindgap_sim::{Duration, Instant, NodeId};
 
-use crate::topology::Topology;
+use crate::topology::{MeshTopology, Topology};
 
 /// Full description of one experiment run.
 #[derive(Debug, Clone)]
 pub struct ExperimentSpec {
     /// Network shape.
     pub topology: Topology,
+    /// Generated large-mesh topology (scaling studies). When set it
+    /// replaces [`ExperimentSpec::topology`] wholesale: node configs,
+    /// producers, consumer, radio range and per-link PER all come from
+    /// the mesh, and the world is built with only the mesh's radio
+    /// links in range. Pair with
+    /// [`ExperimentSpec::dynamic_routing`] — meshes carry no static
+    /// routes.
+    pub mesh: Option<MeshTopology>,
+    /// Run the RPL-style routing agent instead of static routes
+    /// (BLE only; the consumer acts as DODAG root).
+    pub dynamic_routing: bool,
     /// Connection-interval policy (BLE only).
     pub policy: IntervalPolicy,
     /// Producer base interval.
@@ -63,6 +74,8 @@ impl ExperimentSpec {
     pub fn paper_default(topology: Topology, policy: IntervalPolicy, seed: u64) -> Self {
         ExperimentSpec {
             topology,
+            mesh: None,
+            dynamic_routing: false,
             policy,
             producer_interval: Duration::from_secs(1),
             producer_jitter: Duration::from_millis(500),
@@ -77,6 +90,28 @@ impl ExperimentSpec {
             link_per: Vec::new(),
             payload: mindgap_core::COAP_PAYLOAD,
         }
+    }
+
+    /// Defaults for a generated large mesh: the paper's producer
+    /// cadence is scaled back (30 s ±15 s — at hundreds of nodes the
+    /// aggregate rate at the root is what matters), RPL routing is on,
+    /// and the warmup is stretched to 120 s so the DODAG converges
+    /// before measurement.
+    pub fn mesh_default(mesh: MeshTopology, policy: IntervalPolicy, seed: u64) -> Self {
+        // The `topology` field is a placeholder here; `mesh` overrides
+        // every use of it in `run_ble`.
+        let mut spec = Self::paper_default(Topology::line(2), policy, seed)
+            .with_producer_interval(Duration::from_secs(30));
+        spec.mesh = Some(mesh);
+        spec.dynamic_routing = true;
+        spec.warmup = Duration::from_secs(120);
+        spec
+    }
+
+    /// Toggle the RPL-style routing agent (BLE only).
+    pub fn with_dynamic_routing(mut self, on: bool) -> Self {
+        self.dynamic_routing = on;
+        self
     }
 
     /// Override the timeline ring capacity (0 disables span capture).
@@ -185,19 +220,51 @@ pub struct ExperimentResult {
 
 /// Run a BLE experiment.
 pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
+    let (node_cfgs, producers, consumer, topo_name, n) = match &spec.mesh {
+        Some(m) => (
+            m.node_configs(),
+            m.producers(),
+            m.consumer,
+            m.name.clone(),
+            m.len(),
+        ),
+        None => (
+            spec.topology.node_configs(),
+            spec.topology.producers(),
+            spec.topology.consumer,
+            spec.topology.name.to_string(),
+            spec.topology.len(),
+        ),
+    };
     let app = AppConfig {
         producer_interval: spec.producer_interval,
         producer_jitter: spec.producer_jitter,
         warmup: spec.warmup,
         payload: spec.payload,
-        ..AppConfig::paper_default(spec.topology.producers(), spec.topology.consumer)
+        ..AppConfig::paper_default(producers, consumer)
     };
     let mut cfg = WorldConfig::paper_default(spec.seed, spec.policy);
     cfg.clock_ppm_range = spec.clock_ppm_range;
     cfg.timeline_cap = spec.timeline_cap;
     cfg.supervision_timeout = spec.supervision_timeout;
     cfg.transport = spec.transport;
-    let mut world = World::new(cfg, spec.topology.node_configs(), app);
+    cfg.dynamic_routing = spec.dynamic_routing;
+    if let Some(m) = &spec.mesh {
+        cfg.radio_links = Some(m.links.clone());
+        // DAO refresh every 30 s instead of 5 s: at hundreds of nodes
+        // the per-5s DAO funnel saturates near-root relays (every DAO
+        // is forwarded hop-by-hop, so a relay forwards O(subtree) of
+        // them per refresh). Reparenting still announces immediately.
+        cfg.rpl_dao_period_ticks = 6;
+    }
+    let mut world = World::new(cfg, node_cfgs, app);
+    if let Some(m) = &spec.mesh {
+        // Distance-induced PER from the log-distance model, on top of
+        // the Gilbert–Elliott chains.
+        for (a, b, per) in m.link_per_list() {
+            world.set_link_per(NodeId(a), NodeId(b), per);
+        }
+    }
     for &(a, b, per) in &spec.link_per {
         world.set_link_per(NodeId(a), NodeId(b), per);
     }
@@ -212,7 +279,6 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     // Drain: let in-flight exchanges finish so PDR is not truncated.
     world.run_until(end + Duration::from_secs(10));
 
-    let n = spec.topology.len();
     let reconnects = (0..n as u16).map(|i| world.reconnects(NodeId(i))).sum();
     let pool_drops = (0..n as u16).map(|i| world.pool_drops(NodeId(i))).sum();
     let skipped_events = (0..n as u16)
@@ -224,7 +290,7 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     };
     let label = format!(
         "{} {} producer={}ms",
-        spec.topology.name,
+        topo_name,
         transport_label,
         spec.producer_interval.millis()
     );
@@ -315,6 +381,30 @@ mod tests {
         assert!(
             res.records.coap_pdr() > 0.95,
             "tree PDR {}",
+            res.records.coap_pdr()
+        );
+    }
+
+    #[test]
+    fn quick_mesh_run_forms_and_delivers() {
+        // A 60-node random-geometric mesh: RPL converges during the
+        // 120 s warmup, producers then deliver through the DODAG.
+        let mesh = MeshTopology::random_geometric(60, 280.0, 42);
+        let spec = ExperimentSpec::mesh_default(
+            mesh,
+            IntervalPolicy::Randomized {
+                lo: Duration::from_millis(65),
+                hi: Duration::from_millis(85),
+            },
+            42,
+        )
+        .with_duration(Duration::from_secs(120));
+        let res = run_ble(&spec);
+        assert!(res.label.starts_with("geo60"), "{}", res.label);
+        assert!(res.records.total_sent() > 200, "{}", res.records.total_sent());
+        assert!(
+            res.records.coap_pdr() > 0.7,
+            "mesh PDR {}",
             res.records.coap_pdr()
         );
     }

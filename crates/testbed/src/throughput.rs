@@ -52,6 +52,7 @@ pub fn measure_single_link_cfg(
         n_nodes: 2,
         loss: LossConfig::LOSSLESS,
         seed: rng.next_u64(),
+        radio_links: None,
     });
     let mut lls = [
         LinkLayer::new(NodeId(0), Clock::with_ppm(1.0), cfg, rng.fork(1)),

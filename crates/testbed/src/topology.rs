@@ -15,6 +15,9 @@ use mindgap_core::{EdgeConfig, EdgeRole, NodeConfig};
 use mindgap_net::Ipv6Addr;
 use mindgap_sim::NodeId;
 
+pub mod geo;
+pub use geo::{GeoConfig, MeshTopology, MAX_CONN_DEGREE};
+
 /// A tree-shaped testbed topology.
 #[derive(Debug, Clone)]
 pub struct Topology {
