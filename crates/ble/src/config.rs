@@ -147,6 +147,12 @@ pub struct LlConfig {
     pub afh_enabled: bool,
     /// Events between AFH evaluations.
     pub afh_period_events: u32,
+    /// Restart advertising right after accepting a CONNECT_IND.
+    /// Legacy BLE stops the advertiser on connect (statconn restarts
+    /// it per down edge); the dynamic peer manager instead keeps every
+    /// node discoverable for further inbound connections, like a
+    /// multi-role controller re-enabling advertising from the host.
+    pub resume_adv_on_connect: bool,
 }
 
 impl LlConfig {
@@ -174,6 +180,7 @@ impl Default for LlConfig {
             adv_payload: 22,
             afh_enabled: false,
             afh_period_events: 400,
+            resume_adv_on_connect: false,
         }
     }
 }

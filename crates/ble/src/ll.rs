@@ -297,6 +297,15 @@ pub enum Output {
     /// [`Output::Trace`] so the timeline gets typed payloads (anchors,
     /// intervals) instead of a single `u64` detail.
     Obs(LlObsEvent),
+    /// A discovery-mode scanner heard an ADV_IND that matched no
+    /// connect target. The world models RSSI from the advertiser's
+    /// distance and feeds the sighting to the peer-manager policy.
+    /// Only emitted after [`LinkLayer::start_discovery`] — worlds that
+    /// never enable discovery never see this variant.
+    AdvSighting {
+        /// Node whose advertising train we heard.
+        advertiser: NodeId,
+    },
 }
 
 /// Typed link-layer events for the observability timeline.
@@ -373,6 +382,9 @@ struct ScanState {
     reservation: Option<crate::sched::ResId>,
     /// Target index we are about to answer with a CONNECT_IND.
     pending: Option<usize>,
+    /// Passive-discovery mode: keep scanning with no connect targets
+    /// and surface every foreign ADV_IND as [`Output::AdvSighting`].
+    discovery: bool,
 }
 
 struct PendingConnect {
@@ -625,17 +637,67 @@ impl LinkLayer {
                     channel_idx: (self.node.0 % 3) as u8,
                     reservation: None,
                     pending: None,
+                    discovery: false,
                 });
                 out.push(arm_out(now + jitter, TimerKind::ScanStart, self.scan_gen));
             }
         }
     }
 
-    /// Abandon scanning for one advertiser.
+    /// Begin passive neighbor discovery: scan indefinitely (even with
+    /// no connect target) and emit [`Output::AdvSighting`] for every
+    /// ADV_IND heard from a non-target advertiser. Idempotent; the
+    /// scan machinery is shared with [`LinkLayer::start_scanning`], so
+    /// connect targets added later ride the same windows.
+    pub fn start_discovery(&mut self, now: Instant, out: &mut Vec<Output>) {
+        match &mut self.scan {
+            Some(s) => s.discovery = true,
+            None => {
+                self.scan_gen += 1;
+                // Same desynchronizing jitter as a connect scan.
+                let jitter = Duration::from_nanos(
+                    self.rng
+                        .below(self.clock.to_global(self.cfg.scan_interval).nanos().max(1)),
+                );
+                self.scan = Some(ScanState {
+                    targets: Vec::new(),
+                    channel_idx: (self.node.0 % 3) as u8,
+                    reservation: None,
+                    pending: None,
+                    discovery: true,
+                });
+                out.push(arm_out(now + jitter, TimerKind::ScanStart, self.scan_gen));
+            }
+        }
+    }
+
+    /// Abandon scanning for one advertiser. A discovery-mode scan
+    /// stays alive with zero targets.
     pub fn cancel_scan_target(&mut self, advertiser: NodeId) {
         if let Some(s) = &mut self.scan {
+            // `pending` indexes into `targets`; compacting the list
+            // below would leave it dangling. Drop it if it points at
+            // the cancelled advertiser (the armed SendConnectInd then
+            // no-ops and the window's ScanEnd keeps the chain alive),
+            // else shift it past the removed entries.
+            if let Some(p) = s.pending {
+                let hits_pending = s
+                    .targets
+                    .get(p)
+                    .map(|t| t.advertiser == advertiser)
+                    .unwrap_or(true);
+                if hits_pending {
+                    s.pending = None;
+                } else {
+                    let removed_before = s.targets[..p]
+                        .iter()
+                        .filter(|t| t.advertiser == advertiser)
+                        .count();
+                    s.pending = Some(p - removed_before);
+                }
+            }
             s.targets.retain(|t| t.advertiser != advertiser);
-            if s.targets.is_empty() {
+            if s.targets.is_empty() && !s.discovery {
                 if let Some(r) = s.reservation {
                     self.sched.remove(r);
                 }
@@ -1768,6 +1830,9 @@ impl LinkLayer {
         let timeout_at = now + clock.to_global(params.interval * 6);
         out.push(arm_out(timeout_at, TimerKind::Supervision(conn_id), 0));
         self.prep_event(now, conn_id, out);
+        if self.cfg.resume_adv_on_connect {
+            self.start_advertising(now, out);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1864,6 +1929,12 @@ impl LinkLayer {
             .iter()
             .position(|t| t.advertiser == advertiser)
         else {
+            // Not someone we are trying to connect to — but in
+            // discovery mode a foreign ADV_IND is a neighbor sighting
+            // the policy layer wants. The receiver stays open.
+            if scan.discovery {
+                out.push(Output::AdvSighting { advertiser });
+            }
             return;
         };
         scan.pending = Some(idx);
@@ -1967,7 +2038,7 @@ impl LinkLayer {
             if let Some(r) = scan.reservation.take() {
                 self.sched.remove(r);
             }
-            if scan.targets.is_empty() {
+            if scan.targets.is_empty() && !scan.discovery {
                 self.scan = None;
                 self.scan_gen += 1;
             } else {

@@ -28,6 +28,7 @@ pub struct Log {
     pub conn_up: Vec<(NodeId, ConnId, Role)>,
     pub conn_down: Vec<(NodeId, ConnId, LossReason, Instant)>,
     pub rx: Vec<(NodeId, ConnId, Vec<u8>)>,
+    pub sightings: Vec<(NodeId, NodeId)>,
 }
 
 pub struct MiniWorld {
@@ -135,6 +136,9 @@ impl MiniWorld {
                 // Observability events are the World's concern; the
                 // LL harness only exercises protocol behaviour.
                 Output::Obs(_) => {}
+                Output::AdvSighting { advertiser } => {
+                    self.log.sightings.push((node, advertiser));
+                }
             }
         }
     }

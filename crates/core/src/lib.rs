@@ -34,9 +34,11 @@ mod world;
 pub use ieee::{IeeeConfig, IeeeWorld};
 pub use mindgap_adv::{AdvConfig, AdvCounters};
 pub use mindgap_net::{LinkService, LinkSignal, TxAdmission};
+pub use mindgap_peers::{PeerConfig, PeerCounters};
+pub use mindgap_phy::MobilityModel;
 pub use records::{LinkStats, Records, RttSample};
 pub use statconn::{EdgeConfig, EdgeRole, IntervalPolicy, ScAction, Statconn};
-pub use world::{AppConfig, NodeConfig, TransportMode, World, WorldConfig};
+pub use world::{AppConfig, NodeConfig, PeersWorldConfig, TransportMode, World, WorldConfig};
 
 /// CoAP resource path used by the paper's producer/consumer benchmark.
 pub const BENCH_PATH: &str = "/bench";

@@ -20,7 +20,8 @@
 
 use mindgap_adv::{AdvConfig, AdvLink, AdvObsEvent, AdvOut, AdvSendError, AdvTimer};
 use mindgap_ble::{
-    ConnId, Frame, LinkLayer, ListenTag, LlConfig, LlObsEvent, LossReason, Output, Role, Timer,
+    ConnId, ConnParams, Frame, LinkLayer, ListenTag, LlConfig, LlObsEvent, LossReason, Output,
+    Role, Timer,
 };
 use mindgap_chaos::{labels, FaultKind, FaultSchedule, FOREVER_NS};
 use mindgap_coap::{Client, Code, Message, MsgType, Server};
@@ -29,10 +30,11 @@ use mindgap_l2cap::{BufPool, CocChannel, CocConfig, NIMBLE_BUF_BYTES};
 use mindgap_net::{
     Ipv6Addr, Ipv6Stack, LinkService, LinkSignal, NetConfig, SignalLog, StackEvent, TxAdmission,
 };
-use mindgap_obs::{AdvMetrics, MetricsSnapshot, Obs, Span};
+use mindgap_obs::{AdvMetrics, MetricsSnapshot, Obs, PeerMetrics, Span};
+use mindgap_peers::{PeerAction, PeerConfig, PeerCounters, PeerManager};
 use mindgap_phy::{
-    Channel, LossConfig, Medium, MediumConfig, RxOutcome, TxId, TxParams, BLE_JAMMED_CHANNEL,
-    CHANNEL_TABLE_SIZE,
+    Channel, LossConfig, Medium, MediumConfig, Mobility, MobilityModel, PathLossConfig, RxOutcome,
+    TxId, TxParams, BLE_JAMMED_CHANNEL, CHANNEL_TABLE_SIZE,
 };
 use mindgap_sim::{
     Clock, Duration, EventQueue, Instant, NodeId, Rng, ScheduledEvent, Trace, TraceKind,
@@ -113,6 +115,64 @@ pub enum TransportMode {
     Adv(AdvConfig),
 }
 
+/// Configuration of the dynamic peer-management mode (`mindgap-peers`,
+/// DESIGN.md §12). When set, the world starts **cold**: statconn gets
+/// no edges and every node instead advertises, discovery-scans, and
+/// runs a [`PeerManager`] that forms connections from beacon sightings
+/// ranked by modelled RSSI. Node geometry lives here too: per-link PER
+/// and sighting RSSI both derive from the same log-distance path-loss
+/// model, and an optional mobility model moves nodes on a fixed tick.
+#[derive(Debug, Clone)]
+pub struct PeersWorldConfig {
+    /// Per-node connection-pool policy (targets, RSSI thresholds,
+    /// backoff, rotation).
+    pub pool: PeerConfig,
+    /// Geometric path-loss model both the sighting RSSI and the
+    /// per-link PER derive from.
+    pub path_loss: PathLossConfig,
+    /// Seed of the deterministic shadowing term. Use the topology
+    /// seed so link PER matches the generated radio graph.
+    pub geo_seed: u64,
+    /// Node positions in metres, indexed by node id.
+    pub positions: Vec<(f64, f64)>,
+    /// Arena bounds in metres; mobility reflects off these walls.
+    pub arena: (f64, f64),
+    /// Radio-range cutoff: pairs farther apart than this hear
+    /// nothing at all (beyond it the PER ramp has hit 1.0 anyway).
+    pub max_link_m: f64,
+    /// Policy-evaluation cadence (stale expiry, attempt timeout,
+    /// new attempts).
+    pub tick: Duration,
+    /// Node mobility (`None` = static field).
+    pub mobility: Option<MobilityModel>,
+    /// Mobility step cadence.
+    pub mobility_tick: Duration,
+    /// Nodes that never move (typically the consumer/root).
+    pub pinned: Vec<u16>,
+}
+
+impl PeersWorldConfig {
+    /// Defaults for a field of `positions` inside `arena`: default
+    /// pool policy and path loss, 500 ms policy tick, static nodes,
+    /// range cutoff at 1.5× the good-signal range (matching the
+    /// testbed topology generator's link radius).
+    pub fn new(positions: Vec<(f64, f64)>, arena: (f64, f64), geo_seed: u64) -> Self {
+        let path_loss = PathLossConfig::default();
+        PeersWorldConfig {
+            pool: PeerConfig::default(),
+            max_link_m: 1.5 * path_loss.good_range_m(),
+            path_loss,
+            geo_seed,
+            positions,
+            arena,
+            tick: Duration::from_millis(500),
+            mobility: None,
+            mobility_tick: Duration::from_secs(1),
+            pinned: Vec::new(),
+        }
+    }
+}
+
 /// World-level configuration.
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
@@ -160,6 +220,10 @@ pub struct WorldConfig {
     /// pairs in radio range (large generated meshes); `None` keeps the
     /// paper's shared-room default where everyone hears everyone.
     pub radio_links: Option<Vec<(u16, u16)>>,
+    /// Dynamic peer management (`Some` = cold start + discovery +
+    /// policy-formed connections; `None` = statconn's static edges,
+    /// the paper's testbed).
+    pub peers: Option<PeersWorldConfig>,
 }
 
 impl WorldConfig {
@@ -180,6 +244,7 @@ impl WorldConfig {
             supervision_timeout: None,
             transport: TransportMode::Conn,
             radio_links: None,
+            peers: None,
         }
     }
 }
@@ -204,6 +269,12 @@ enum Ev {
     SweepStep { fault: u32, step: u8 },
     /// Advertising-transport timer (adv mode only).
     AdvTimer(NodeId, AdvTimer),
+    /// Peer-manager policy evaluation, all nodes in index order
+    /// (peers mode only).
+    PeersTick,
+    /// Mobility step: move nodes, re-derive per-link PER from the
+    /// new geometry (peers mode with mobility only).
+    MobilityTick,
 }
 
 struct InFlight {
@@ -320,6 +391,9 @@ struct BleNode {
     client: Client,
     server: Server,
     rpl: Option<RplAgent>,
+    /// Dynamic connection-manager policy (peers mode only; `None`
+    /// keeps statconn's static edges on the paper's data path).
+    peers: Option<PeerManager>,
     rng: Rng,
 }
 
@@ -415,6 +489,41 @@ pub struct World {
     /// Advertising-transport metric ids; registered only in adv mode
     /// so connection-mode metric exports are byte-identical.
     adv_m: Option<AdvMetrics>,
+    /// Peer-manager metric ids; registered only in peers mode, same
+    /// byte-identity argument as `adv_m`.
+    peer_m: Option<PeerMetrics>,
+    /// World-side peers-mode state (geometry, mobility, adjacency).
+    /// `None` on the paper's static data path: the hot loop carries
+    /// no cost beyond this check.
+    peers_world: Option<Box<PeersState>>,
+}
+
+/// World-side state of the dynamic peer-management mode: the node
+/// field (positions + mobility) and the current radio adjacency so
+/// mobility steps only flip links that actually crossed the range
+/// cutoff.
+struct PeersState {
+    geo: PathLossConfig,
+    geo_seed: u64,
+    max_link_m: f64,
+    tick: Duration,
+    mobility_tick: Duration,
+    /// Positions + stepping. Built even for static fields (the model
+    /// just never steps), so distance queries have one home.
+    field: Mobility,
+    /// Whether a mobility model was configured (drives MobilityTick).
+    mobile: bool,
+    /// Upper-triangular adjacency from the last geometry refresh:
+    /// `in_range[pair(i, j)]` for `i < j`.
+    in_range: Vec<bool>,
+}
+
+impl PeersState {
+    /// Dense upper-triangular pair index for `a < b` over `n` nodes.
+    fn pair(n: usize, a: usize, b: usize) -> usize {
+        debug_assert!(a < b && b < n);
+        a * n - a * (a + 1) / 2 + (b - a - 1)
+    }
 }
 
 /// Injector state: the installed schedule plus one scratch slot per
@@ -433,6 +542,9 @@ struct NodeRngs {
     sc: Rng,
     node: Rng,
     adv: Option<Rng>,
+    /// Peer-manager stream (backoff jitter, interval draws). Exists
+    /// only in peers mode — same draw-neutrality contract as `adv`.
+    peers: Option<Rng>,
 }
 
 /// Build one node's full stack from its static config. Used at world
@@ -472,8 +584,19 @@ fn make_node(
         }
         _ => None,
     };
+    let peers = match (&cfg.peers, rngs.peers) {
+        (Some(pc), Some(r)) => Some(PeerManager::new(id, pc.pool, r)),
+        _ => None,
+    };
+    let mut ll_cfg = cfg.ll;
+    if peers.is_some() {
+        // Dynamic peer management needs every node to stay
+        // discoverable: resume advertising after accepting a
+        // connection instead of going dark (legacy-BLE default).
+        ll_cfg.resume_adv_on_connect = true;
+    }
     BleNode {
-        ll: LinkLayer::new(id, Clock::with_ppm(ppm), cfg.ll, rngs.ll),
+        ll: LinkLayer::new(id, Clock::with_ppm(ppm), ll_cfg, rngs.ll),
         stack,
         statconn,
         link: ConnLink::new(),
@@ -481,6 +604,7 @@ fn make_node(
         client: Client::new(id.0),
         server: Server::new(0x8000 | id.0),
         rpl,
+        peers,
         rng: rngs.node,
     }
 }
@@ -516,10 +640,12 @@ impl World {
                     ll: rng.fork(1000 + i as u64),
                     sc: rng.fork(2000 + i as u64),
                     node: rng.fork(3000 + i as u64),
-                    // The extra fork happens only in adv mode, so
-                    // connection-mode runs keep their exact draw order.
+                    // The extra forks happen only in adv/peers mode,
+                    // so connection-mode runs keep their exact draw
+                    // order.
                     adv: matches!(cfg.transport, TransportMode::Adv(_))
                         .then(|| rng.fork(4000 + i as u64)),
+                    peers: cfg.peers.is_some().then(|| rng.fork(5000 + i as u64)),
                 };
                 make_node(&cfg, app.consumer, nc, id, ppm, rngs)
             })
@@ -527,7 +653,42 @@ impl World {
         let mut obs = Obs::new(n, cfg.timeline_cap);
         let adv_m = matches!(cfg.transport, TransportMode::Adv(_))
             .then(|| AdvMetrics::register(&mut obs.reg));
-        World {
+        let peer_m = cfg.peers.is_some().then(|| PeerMetrics::register(&mut obs.reg));
+        // Peers mode: the world owns geometry. One dedicated fork
+        // feeds mobility (drawn after the node loop, gated on the
+        // mode, so non-peers runs never see it).
+        let peers_world = cfg.peers.as_ref().map(|pc| {
+            assert_eq!(
+                pc.positions.len(),
+                n,
+                "peers mode needs one position per node"
+            );
+            assert!(
+                cfg.radio_links.is_none(),
+                "peers mode derives radio range from geometry; leave radio_links None"
+            );
+            let model = pc.mobility.unwrap_or_else(MobilityModel::walk_default);
+            let mut field = Mobility::new(
+                model,
+                pc.arena,
+                pc.positions.clone(),
+                rng.fork(0x3050),
+            );
+            for &p in &pc.pinned {
+                field.pin(p as usize);
+            }
+            Box::new(PeersState {
+                geo: pc.path_loss,
+                geo_seed: pc.geo_seed,
+                max_link_m: pc.max_link_m,
+                tick: pc.tick,
+                mobility_tick: pc.mobility_tick,
+                field,
+                mobile: pc.mobility.is_some(),
+                in_range: vec![true; n * (n - 1) / 2],
+            })
+        });
+        let mut w = World {
             queue: EventQueue::new(),
             medium,
             nodes,
@@ -556,8 +717,51 @@ impl World {
             chaos: None,
             ll_timers: vec![Vec::new(); n],
             adv_m,
+            peer_m,
+            peers_world,
             cfg,
             node_cfgs,
+        };
+        // Apply the initial geometry: per-link PER for in-range pairs,
+        // out-of-range for the rest. Medium mutators are draw-neutral,
+        // so this perturbs nothing on non-peers paths (where it is
+        // skipped entirely).
+        w.refresh_geometry();
+        w
+    }
+
+    /// Re-derive every pair's radio state from current positions:
+    /// distance → path loss → PER, with pairs beyond the range cutoff
+    /// taken out of range entirely. Only links whose range state
+    /// changed are flipped; in-range PERs are rewritten every call
+    /// (distance moves continuously under mobility). No-op without
+    /// peers mode.
+    fn refresh_geometry(&mut self) {
+        let World {
+            peers_world, medium, ..
+        } = &mut *self;
+        let Some(ps) = peers_world.as_mut() else {
+            return;
+        };
+        let n = ps.field.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = ps.field.distance(a, b).max(0.01);
+                let idx = PeersState::pair(n, a, b);
+                let (na, nb) = (NodeId(a as u16), NodeId(b as u16));
+                let was = ps.in_range[idx];
+                let now_in = d <= ps.max_link_m;
+                ps.in_range[idx] = now_in;
+                if now_in {
+                    if !was {
+                        medium.set_in_range(na, nb, true);
+                    }
+                    let per = ps.geo.link_per(ps.geo_seed, a as u16, b as u16, d);
+                    medium.set_link_loss(na, nb, per, true);
+                } else if was {
+                    medium.set_out_of_range(na, nb, true);
+                }
+            }
         }
     }
 
@@ -652,6 +856,20 @@ impl World {
                 reg.gauge_set(am.adv_neighbors, id, adv.neighbor_count() as i64);
                 reg.gauge_set(am.adv_queue_depth, id, adv.queue_len() as i64);
             }
+            if let (Some(pm), Some(qm)) = (&n.peers, self.peer_m) {
+                let p = pm.counters();
+                reg.set_counter(qm.peer_sightings, id, p.sightings);
+                reg.set_counter(qm.peer_discoveries, id, p.discoveries);
+                reg.set_counter(qm.peer_attempts, id, p.attempts);
+                reg.set_counter(qm.peer_successes, id, p.successes);
+                reg.set_counter(qm.peer_failures, id, p.failures);
+                reg.set_counter(qm.peer_timeouts, id, p.timeouts);
+                reg.set_counter(qm.peer_rotations, id, p.rotations);
+                reg.set_counter(qm.peer_refusals, id, p.refusals);
+                reg.set_counter(qm.peer_losses, id, p.losses);
+                reg.gauge_set(qm.peer_pool_size, id, pm.connected_count() as i64);
+                reg.gauge_set(qm.peer_known, id, pm.known_count() as i64);
+            }
         }
         self.obs.snapshot()
     }
@@ -737,6 +955,47 @@ impl World {
         self.nodes.iter().all(|n| n.statconn.fully_connected())
     }
 
+    /// Peer-manager counters of one node (`None` outside peers mode).
+    pub fn peer_counters(&self, node: NodeId) -> Option<PeerCounters> {
+        self.nodes[node.index()].peers.as_ref().map(|p| p.counters())
+    }
+
+    /// Established pool size of one node's peer manager (`None`
+    /// outside peers mode).
+    pub fn peer_pool_size(&self, node: NodeId) -> Option<usize> {
+        self.nodes[node.index()]
+            .peers
+            .as_ref()
+            .map(|p| p.connected_count())
+    }
+
+    /// Peers currently connected to `node` under dynamic management
+    /// (`None` outside peers mode).
+    pub fn peer_neighbors(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        let n = &self.nodes[node.index()];
+        n.peers
+            .as_ref()
+            .map(|_| n.link.cocs.iter().map(|(_, s)| s.peer).collect())
+    }
+
+    /// Current node positions in metres (`None` outside peers mode).
+    pub fn positions(&self) -> Option<&[(f64, f64)]> {
+        self.peers_world.as_ref().map(|p| p.field.positions())
+    }
+
+    /// Broadcast a raw link-layer SDU from `node` over the
+    /// advertising transport (adv mode only; flooded up to the
+    /// configured `rebroadcast_hops`). Returns `false` when the node
+    /// has no advertising transport or its queue refused the payload.
+    /// Receivers count it in `adv_counters().delivered`; the payload
+    /// is not parsed as 6LoWPAN unless it is one.
+    pub fn adv_broadcast(&mut self, node: NodeId, payload: Vec<u8>) -> bool {
+        let Some(adv) = self.nodes[node.index()].adv.as_mut() else {
+            return false;
+        };
+        adv.send(Frame::ADV_BROADCAST, payload).is_ok()
+    }
+
     /// Kick off statconn, producers and housekeeping. Idempotent.
     pub fn start(&mut self) {
         if self.started {
@@ -744,13 +1003,25 @@ impl World {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            if self.nodes[i].adv.is_some() {
+            if self.nodes[i].peers.is_some() {
+                // Cold start: every node advertises (to be found) and
+                // discovery-scans (to find); the policy tick below
+                // turns sightings into connections.
+                self.start_peer_node(NodeId(i as u16));
+            } else if self.nodes[i].adv.is_some() {
                 // Connection-less transport: no statconn, no L2CAP —
                 // each node just starts advertising and scanning.
                 self.start_adv(NodeId(i as u16));
             } else {
                 let actions = self.nodes[i].statconn.start();
                 self.apply_sc_actions(NodeId(i as u16), actions);
+            }
+        }
+        if let Some(ps) = self.peers_world.as_ref() {
+            let (tick, mobile, mtick) = (ps.tick, ps.mobile, ps.mobility_tick);
+            self.queue.schedule_in(tick, Ev::PeersTick);
+            if mobile {
+                self.queue.schedule_in(mtick, Ev::MobilityTick);
             }
         }
         for p in self.app.producers.clone() {
@@ -953,7 +1224,58 @@ impl World {
                 }
                 self.apply_adv(node, outs);
             }
+            Ev::PeersTick => self.peers_tick(now),
+            Ev::MobilityTick => self.mobility_tick(),
         }
+    }
+
+    /// (Re)start a peers-mode node: advertise so others can find it,
+    /// discovery-scan so it finds others.
+    fn start_peer_node(&mut self, node: NodeId) {
+        let now = self.queue.now();
+        let mut outs = self.take_out();
+        self.nodes[node.index()].ll.start_advertising(now, &mut outs);
+        self.nodes[node.index()].ll.start_discovery(now, &mut outs);
+        self.apply_ll(node, &mut outs);
+        self.put_out(outs);
+    }
+
+    /// One policy round: every live node's manager expires stale
+    /// discoveries, times out its in-flight attempt, and starts a new
+    /// attempt when below target — in node-index order, so the draw
+    /// sequence is independent of sighting arrival order.
+    fn peers_tick(&mut self, now: Instant) {
+        let Some(ps) = self.peers_world.as_ref() else {
+            return;
+        };
+        let tick = ps.tick;
+        for i in 0..self.nodes.len() {
+            if self.down[i] {
+                continue;
+            }
+            let Some(pm) = self.nodes[i].peers.as_mut() else {
+                continue;
+            };
+            let actions = pm.tick(now);
+            if !actions.is_empty() {
+                self.apply_peer_actions(NodeId(i as u16), actions);
+            }
+        }
+        self.queue.schedule_in(tick, Ev::PeersTick);
+    }
+
+    /// One mobility step: advance positions, re-derive every link's
+    /// PER/range from the new geometry. Established connections to
+    /// peers that walked out of range die the BLE way — supervision
+    /// timeout — and the policy heals around them.
+    fn mobility_tick(&mut self) {
+        let Some(ps) = self.peers_world.as_mut() else {
+            return;
+        };
+        let dt = ps.mobility_tick;
+        ps.field.step(dt.nanos() as f64 / 1e9);
+        self.refresh_geometry();
+        self.queue.schedule_in(dt, Ev::MobilityTick);
     }
 
     /// (Re)start a node's advertising transport.
@@ -1222,6 +1544,138 @@ impl World {
                     self.trace.emit(now, node, TraceKind::Link, tag, detail);
                 }
                 Output::Obs(ev) => self.obs_ll_event(now, node, ev),
+                Output::AdvSighting { advertiser } => {
+                    self.peer_sighting(now, node, advertiser);
+                }
+            }
+        }
+    }
+
+    /// A discovery scan heard `advertiser`'s beacon: model the RSSI
+    /// from the current geometry and feed the sighting to the node's
+    /// peer manager. First-time discoveries earn a timeline span.
+    fn peer_sighting(&mut self, now: Instant, node: NodeId, advertiser: NodeId) {
+        let Some(ps) = self.peers_world.as_ref() else {
+            return;
+        };
+        let d = ps
+            .field
+            .distance(advertiser.index(), node.index())
+            .max(0.01);
+        let rssi = ps.geo.rssi_dbm(ps.geo_seed, advertiser.0, node.0, d);
+        let Some(pm) = self.nodes[node.index()].peers.as_mut() else {
+            return;
+        };
+        if pm.on_sighting(now, advertiser, rssi) {
+            self.obs
+                .timeline
+                .record(now, node, Span::Discovery { peer: advertiser });
+            self.trace.emit(
+                now,
+                node,
+                TraceKind::ConnMgr,
+                "peer_discovered",
+                advertiser.0 as u64,
+            );
+        }
+    }
+
+    /// Connection interval for a peer-initiated connection: drawn per
+    /// the world's interval policy from the manager's own RNG stream,
+    /// unique among the node's live connection intervals (the same
+    /// §6.3 collision-avoidance statconn's randomized policy applies).
+    fn draw_peer_interval(&mut self, node: NodeId) -> Duration {
+        use crate::statconn::INTERVAL_QUANTUM;
+        match self.cfg.policy {
+            IntervalPolicy::Static(d) => d,
+            IntervalPolicy::Randomized { lo, hi } => {
+                let span = (hi - lo) / INTERVAL_QUANTUM;
+                let n = &mut self.nodes[node.index()];
+                let used: Vec<Duration> = n
+                    .ll
+                    .connections()
+                    .into_iter()
+                    .filter_map(|(c, _, _)| n.ll.conn_interval(c))
+                    .collect();
+                let Some(pm) = n.peers.as_mut() else {
+                    return lo;
+                };
+                loop {
+                    let k = pm.rng_mut().range_inclusive(0, span);
+                    let candidate = lo + INTERVAL_QUANTUM * k;
+                    if !used.contains(&candidate) || span == 0 {
+                        break candidate;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute the peer manager's decisions on the link layer — the
+    /// peers-mode counterpart of [`World::apply_sc_actions`].
+    fn apply_peer_actions(&mut self, node: NodeId, actions: Vec<PeerAction>) {
+        let now = self.queue.now();
+        for a in actions {
+            match a {
+                PeerAction::Connect { peer } => {
+                    let interval = self.draw_peer_interval(node);
+                    let mut params = ConnParams::with_interval_nimble(interval);
+                    if let Some(t) = self.cfg.supervision_timeout {
+                        params.supervision_timeout = t;
+                    }
+                    params.channel_map = self.cfg.conn_channel_map;
+                    let conn = ConnId(self.next_conn);
+                    self.next_conn += 1;
+                    self.set_conn_ends(conn, node, peer);
+                    if let Some(pm) = self.nodes[node.index()].peers.as_mut() {
+                        pm.attempt_started(conn.0);
+                    }
+                    self.obs.timeline.record(
+                        now,
+                        node,
+                        Span::PeerAttempt { conn: conn.0, peer },
+                    );
+                    self.trace
+                        .emit(now, node, TraceKind::ConnMgr, "peer_attempt", peer.0 as u64);
+                    let mut outs = self.take_out();
+                    self.nodes[node.index()]
+                        .ll
+                        .start_scanning(now, peer, conn, params, &mut outs);
+                    self.apply_ll(node, &mut outs);
+                    self.put_out(outs);
+                }
+                PeerAction::CancelAttempt { peer, rotated } => {
+                    // Discovery keeps the scan alive; only the connect
+                    // target is abandoned.
+                    self.nodes[node.index()].ll.cancel_scan_target(peer);
+                    self.obs.timeline.record(
+                        now,
+                        node,
+                        Span::PeerAttemptFail {
+                            peer,
+                            timeout: true,
+                        },
+                    );
+                    if rotated {
+                        self.obs
+                            .timeline
+                            .record(now, node, Span::PeerRotation { peer });
+                    }
+                    self.trace.emit(
+                        now,
+                        node,
+                        TraceKind::ConnMgr,
+                        "peer_attempt_timeout",
+                        peer.0 as u64,
+                    );
+                }
+                PeerAction::Close { conn } => {
+                    let conn = ConnId(conn);
+                    self.trace
+                        .emit(now, node, TraceKind::ConnMgr, "peer_refuse", conn.0);
+                    self.set_doomed(conn);
+                    self.close_both(conn);
+                }
             }
         }
     }
@@ -1415,6 +1869,22 @@ impl World {
                 interval_ns: interval.nanos(),
             },
         );
+        if self.nodes[node.index()].peers.is_some() {
+            // Peers mode: the policy decides whether to keep the
+            // connection (pool capacity, duplicate pair) instead of
+            // statconn's edge table.
+            let initiated = role == Role::Coordinator;
+            let pm = self.nodes[node.index()].peers.as_mut().expect("peers mode");
+            let actions = pm.on_conn_up(now, conn.0, peer, initiated);
+            let rejected = actions
+                .iter()
+                .any(|a| matches!(a, PeerAction::Close { conn: c } if *c == conn.0));
+            if !rejected {
+                self.register_coc(node, conn, peer);
+            }
+            self.apply_peer_actions(node, actions);
+            return;
+        }
         let actions =
             self.nodes[node.index()]
                 .statconn
@@ -1424,20 +1894,26 @@ impl World {
             .iter()
             .any(|a| matches!(a, ScAction::Close { conn: c } if *c == conn));
         if !rejected {
-            let link = &mut self.nodes[node.index()].link;
-            link.cocs.push((
-                conn,
-                CocState {
-                    chan: CocChannel::symmetric(CocConfig::default(), 0x40, 0x40),
-                    peer,
-                    pending_credits: 0,
-                },
-            ));
-            link.signals.push(LinkSignal::Up {
-                peer: LlAddr::from_node_index(peer.0),
-            });
+            self.register_coc(node, conn, peer);
         }
         self.apply_sc_actions(node, actions);
+    }
+
+    /// Open the L2CAP channel for a freshly accepted connection and
+    /// log the link-up signal (shared by both connection managers).
+    fn register_coc(&mut self, node: NodeId, conn: ConnId, peer: NodeId) {
+        let link = &mut self.nodes[node.index()].link;
+        link.cocs.push((
+            conn,
+            CocState {
+                chan: CocChannel::symmetric(CocConfig::default(), 0x40, 0x40),
+                peer,
+                pending_credits: 0,
+            },
+        ));
+        link.signals.push(LinkSignal::Up {
+            peer: LlAddr::from_node_index(peer.0),
+        });
     }
 
     fn conn_down(&mut self, node: NodeId, conn: ConnId, peer: NodeId, reason: LossReason) {
@@ -1489,6 +1965,27 @@ impl World {
             if let Some(sends) = sends {
                 self.rpl_transmit(node, sends);
             }
+        }
+        if self.nodes[node.index()].peers.is_some() {
+            let pm = self.nodes[node.index()].peers.as_mut().expect("peers mode");
+            let info = pm.on_conn_down(now, conn.0, peer);
+            if info.was_attempt {
+                self.obs.timeline.record(
+                    now,
+                    node,
+                    Span::PeerAttemptFail {
+                        peer,
+                        timeout: false,
+                    },
+                );
+                if info.rotated {
+                    self.obs
+                        .timeline
+                        .record(now, node, Span::PeerRotation { peer });
+                }
+            }
+            // The freed pool slot refills on the next PeersTick.
+            return;
         }
         let actions = self.nodes[node.index()].statconn.on_conn_down(conn, peer);
         self.apply_sc_actions(node, actions);
@@ -1862,6 +2359,7 @@ impl World {
             sc: r.fork(2),
             node: r.fork(3),
             adv: matches!(self.cfg.transport, TransportMode::Adv(_)).then(|| r.fork(4)),
+            peers: self.cfg.peers.is_some().then(|| r.fork(5)),
         };
         self.nodes[i] = make_node(
             &self.cfg,
@@ -1881,7 +2379,10 @@ impl World {
         debug_assert!(self.down[i], "reboot of a node that is not down");
         self.down[i] = false;
         self.record_fault(now, id, labels::NODE_REBOOT, id.0 as u64, u64::MAX);
-        if self.nodes[i].adv.is_some() {
+        if self.nodes[i].peers.is_some() {
+            // Rejoin from scratch: empty discovery cache, empty pool.
+            self.start_peer_node(id);
+        } else if self.nodes[i].adv.is_some() {
             self.start_adv(id);
         } else {
             let actions = self.nodes[i].statconn.start();
@@ -2170,7 +2671,11 @@ impl World {
             return;
         }
         let peer = NodeId(u16::from_be_bytes([next_hop_ll.0[6], next_hop_ll.0[7]]));
-        let Some(conn) = self.nodes[node.index()].statconn.conn_to(peer) else {
+        let conn = match self.nodes[node.index()].peers.as_ref() {
+            Some(pm) => pm.conn_to(peer).map(ConnId),
+            None => self.nodes[node.index()].statconn.conn_to(peer),
+        };
+        let Some(conn) = conn else {
             self.obs.reg.inc(self.obs.m.ipv6_send_failures, node);
             self.records.drop("link_down");
             return;

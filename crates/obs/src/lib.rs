@@ -432,6 +432,56 @@ impl AdvMetrics {
     }
 }
 
+/// Metric id-set of the peer-manager policy layer (`mindgap-peers`).
+/// Registered **only** when a world runs with dynamic peer management,
+/// so static-topology metric exports stay byte-identical to builds
+/// without the policy layer.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerMetrics {
+    /// Advertising sightings fed to the policy (sightings, sampled).
+    pub peer_sightings: CounterId,
+    /// First-time discoveries — new cache entries (peers, sampled).
+    pub peer_discoveries: CounterId,
+    /// Connect attempts started (attempts, sampled).
+    pub peer_attempts: CounterId,
+    /// Attempts that reached an open connection (attempts, sampled).
+    pub peer_successes: CounterId,
+    /// Attempts that failed (attempts, sampled).
+    pub peer_failures: CounterId,
+    /// Failed attempts that were timeouts (attempts, sampled).
+    pub peer_timeouts: CounterId,
+    /// Peers rotated away from (peers, sampled).
+    pub peer_rotations: CounterId,
+    /// Inbound connections refused (conns, sampled).
+    pub peer_refusals: CounterId,
+    /// Established connections lost (conns, sampled).
+    pub peer_losses: CounterId,
+    /// Current established-connection count (conns, gauge).
+    pub peer_pool_size: GaugeId,
+    /// Current discovery-cache size (peers, gauge).
+    pub peer_known: GaugeId,
+}
+
+impl PeerMetrics {
+    /// Register the peer-manager id-set on `reg`.
+    pub fn register(reg: &mut MetricsRegistry) -> Self {
+        use Layer::*;
+        PeerMetrics {
+            peer_sightings: reg.sampled(Ll, "ll_peer_sightings", "sightings", "adv sightings fed to policy"),
+            peer_discoveries: reg.sampled(Ll, "ll_peer_discoveries", "peers", "first-time discoveries"),
+            peer_attempts: reg.sampled(Ll, "ll_peer_attempts", "attempts", "connect attempts started"),
+            peer_successes: reg.sampled(Ll, "ll_peer_successes", "attempts", "attempts established"),
+            peer_failures: reg.sampled(Ll, "ll_peer_failures", "attempts", "attempts failed"),
+            peer_timeouts: reg.sampled(Ll, "ll_peer_timeouts", "attempts", "attempts timed out"),
+            peer_rotations: reg.sampled(Ll, "ll_peer_rotations", "peers", "peers rotated away"),
+            peer_refusals: reg.sampled(Ll, "ll_peer_refusals", "conns", "inbound conns refused"),
+            peer_losses: reg.sampled(Ll, "ll_peer_losses", "conns", "established conns lost"),
+            peer_pool_size: reg.gauge(Ll, "ll_peer_pool_size", "conns", "established conns"),
+            peer_known: reg.gauge(Ll, "ll_peer_known", "peers", "discovery-cache size"),
+        }
+    }
+}
+
 /// Everything a simulator world owns for observability: the registry,
 /// the pre-registered [`StackMetrics`] ids, and the timeline.
 #[derive(Debug)]

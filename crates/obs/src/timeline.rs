@@ -146,6 +146,31 @@ pub enum Span {
         /// The neighbor.
         peer: NodeId,
     },
+    /// The peer manager sighted a peer for the first time (it entered
+    /// the discovery cache). Convergence-time analysis starts here.
+    Discovery {
+        /// The discovered peer.
+        peer: NodeId,
+    },
+    /// The peer manager started a connect attempt toward `peer`.
+    PeerAttempt {
+        /// Connection handle allocated for the attempt.
+        conn: u64,
+        /// The chosen peer.
+        peer: NodeId,
+    },
+    /// A connect attempt failed (establishment failure or timeout).
+    PeerAttemptFail {
+        /// The peer the attempt targeted.
+        peer: NodeId,
+        /// `true` when the attempt timed out rather than failing fast.
+        timeout: bool,
+    },
+    /// The peer manager rotated away from a repeatedly-failing peer.
+    PeerRotation {
+        /// The rotated-away peer.
+        peer: NodeId,
+    },
 }
 
 impl Span {
@@ -167,6 +192,10 @@ impl Span {
             Span::AdvDuplicate { .. } => "adv_duplicate",
             Span::NeighborUp { .. } => "neighbor_up",
             Span::NeighborDown { .. } => "neighbor_down",
+            Span::Discovery { .. } => "discovery",
+            Span::PeerAttempt { .. } => "peer_attempt",
+            Span::PeerAttemptFail { .. } => "peer_attempt_fail",
+            Span::PeerRotation { .. } => "peer_rotation",
         }
     }
 }
@@ -310,6 +339,14 @@ impl Timeline {
                 }
                 Span::NeighborUp { peer } => (None, Some(peer.0 as u64), None),
                 Span::NeighborDown { peer } => (None, Some(peer.0 as u64), None),
+                Span::Discovery { peer } => (None, Some(peer.0 as u64), None),
+                Span::PeerAttempt { conn, peer } => {
+                    (Some(conn), Some(peer.0 as u64), None)
+                }
+                Span::PeerAttemptFail { peer, timeout } => {
+                    (None, Some(peer.0 as u64), Some(timeout as u64))
+                }
+                Span::PeerRotation { peer } => (None, Some(peer.0 as u64), None),
             };
             s.push_str(&format!(
                 "{},{},{},{},{},{}\n",
@@ -383,6 +420,14 @@ fn push_jsonl(s: &mut String, ev: &TimelineEvent) {
         }
         Span::NeighborUp { peer } => write!(s, ",\"peer\":{}", peer.0),
         Span::NeighborDown { peer } => write!(s, ",\"peer\":{}", peer.0),
+        Span::Discovery { peer } => write!(s, ",\"peer\":{}", peer.0),
+        Span::PeerAttempt { conn, peer } => {
+            write!(s, ",\"conn\":{conn},\"peer\":{}", peer.0)
+        }
+        Span::PeerAttemptFail { peer, timeout } => {
+            write!(s, ",\"peer\":{},\"timeout\":{timeout}", peer.0)
+        }
+        Span::PeerRotation { peer } => write!(s, ",\"peer\":{}", peer.0),
     };
     s.push_str("}\n");
 }

@@ -18,6 +18,11 @@
 //!   directed link ([`GilbertElliott`]), plus static per-channel
 //!   interference such as the permanently jammed BLE channel 22 the
 //!   authors observed in the IoT-lab (§4.2).
+//! * **Geometry** — log-distance path loss with deterministic
+//!   shadowing ([`PathLossConfig`]) turning node positions into
+//!   per-link RSSI and PER, and [`mobility`] models (random walk,
+//!   random waypoint) that move the positions mid-run so link quality
+//!   evolves.
 //!
 //! The medium is *passive*: protocol crates decide when to transmit
 //! and when to listen; the medium only answers "did this frame arrive
@@ -31,10 +36,12 @@ pub mod airtime;
 mod channel;
 mod loss;
 mod medium;
+pub mod mobility;
 
 pub use channel::{
     Band, Channel, BLE_ADV_CHANNELS, BLE_ADV_FIRST, BLE_DATA_CHANNELS, BLE_JAMMED_CHANNEL,
     CHANNEL_TABLE_SIZE,
 };
 pub use loss::{GilbertElliott, LossConfig, NoiseModel, PathLossConfig};
+pub use mobility::{Mobility, MobilityModel};
 pub use medium::{Medium, MediumConfig, RxOutcome, TxId, TxParams};

@@ -62,6 +62,10 @@ pub mod keys {
     /// Per-fault mbuf-exhaustion drops inside the fault window
     /// (series, one entry per fault).
     pub const CHAOS_PKTS_LOST: &str = "chaos.pkts_lost";
+    /// Cold-start convergence time in seconds: first instant every
+    /// non-root node holds an RPL parent (peers-mode runs only;
+    /// absent when the run never fully converged).
+    pub const CONVERGENCE_S: &str = "convergence_s";
 }
 
 /// Flatten an experiment result into a campaign artifact.
@@ -86,6 +90,9 @@ pub fn to_job_result(res: &ExperimentResult, per_node_series: &[u16]) -> JobResu
     }
     for (name, value) in res.metrics.flat(keys::OBS_PREFIX) {
         out.metric(&name, value);
+    }
+    if let Some(conv) = res.convergence_s {
+        out.metric(keys::CONVERGENCE_S, conv);
     }
     if !res.recovery.is_empty() {
         use mindgap_chaos::recovery;

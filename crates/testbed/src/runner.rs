@@ -9,12 +9,26 @@
 use mindgap_chaos::recovery::FaultRecovery;
 use mindgap_chaos::FaultSchedule;
 use mindgap_core::{
-    AdvConfig, AppConfig, IeeeConfig, IeeeWorld, IntervalPolicy, Records, TransportMode, World,
-    WorldConfig,
+    AdvConfig, AppConfig, IeeeConfig, IeeeWorld, IntervalPolicy, MobilityModel, NodeConfig,
+    PeerConfig, PeersWorldConfig, Records, TransportMode, World, WorldConfig,
 };
 use mindgap_sim::{Duration, Instant, NodeId};
 
 use crate::topology::{MeshTopology, Topology};
+
+/// Dynamic peer management for a run (DESIGN.md §12). Requires a
+/// generated mesh ([`ExperimentSpec::mesh`]) for node positions; the
+/// world then starts **cold** — no statconn edges — and forms its
+/// connection graph from discovery + RSSI-ranked policy alone.
+#[derive(Debug, Clone, Default)]
+pub struct PeersSpec {
+    /// Connection-pool policy (targets, RSSI thresholds, backoff,
+    /// rotation).
+    pub pool: PeerConfig,
+    /// Node mobility (`None` = static field). The consumer/root is
+    /// always pinned.
+    pub mobility: Option<MobilityModel>,
+}
 
 /// Full description of one experiment run.
 #[derive(Debug, Clone)]
@@ -66,6 +80,10 @@ pub struct ExperimentSpec {
     pub link_per: Vec<(u16, u16, f64)>,
     /// CoAP request payload bytes (default: the paper's 39, §4.3).
     pub payload: usize,
+    /// Dynamic peer management (BLE only; needs `mesh`). `Some` starts
+    /// the world cold and lets discovery + policy form the connection
+    /// graph; `None` keeps statconn's static edges.
+    pub peers: Option<PeersSpec>,
 }
 
 impl ExperimentSpec {
@@ -89,6 +107,7 @@ impl ExperimentSpec {
             transport: TransportMode::Conn,
             link_per: Vec::new(),
             payload: mindgap_core::COAP_PAYLOAD,
+            peers: None,
         }
     }
 
@@ -179,6 +198,25 @@ impl ExperimentSpec {
         self.payload = payload;
         self
     }
+
+    /// Enable dynamic peer management with the default pool policy
+    /// (BLE only; needs [`ExperimentSpec::mesh`] for positions).
+    /// Forces RPL routing — a cold-started world has no static routes.
+    pub fn with_peers(mut self) -> Self {
+        self.peers = Some(PeersSpec::default());
+        self.dynamic_routing = true;
+        self
+    }
+
+    /// Enable dynamic peer management with node mobility.
+    pub fn with_peers_mobility(mut self, mobility: MobilityModel) -> Self {
+        self.peers = Some(PeersSpec {
+            pool: PeerConfig::default(),
+            mobility: Some(mobility),
+        });
+        self.dynamic_routing = true;
+        self
+    }
 }
 
 /// Everything a figure needs from one run.
@@ -214,6 +252,11 @@ pub struct ExperimentResult {
     /// without a fault schedule, for IEEE runs, when `timeline_cap`
     /// is 0, and under `obs-off`).
     pub recovery: Vec<FaultRecovery>,
+    /// Cold-start convergence time in seconds: first 1 s-granular
+    /// instant at which every non-root node holds an RPL parent
+    /// (peers mode only; `None` for statconn runs, IEEE runs, and
+    /// peers runs that never fully converged).
+    pub convergence_s: Option<f64>,
     /// Label for tables ("tree static 75ms" …).
     pub label: String,
 }
@@ -236,6 +279,18 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
             spec.topology.len(),
         ),
     };
+    // Peers mode starts cold: the mesh's statconn edges and static
+    // routes are discarded — discovery + policy must form the graph.
+    let node_cfgs = if spec.peers.is_some() {
+        (0..n)
+            .map(|_| NodeConfig {
+                edges: Vec::new(),
+                routes: Vec::new(),
+            })
+            .collect()
+    } else {
+        node_cfgs
+    };
     let app = AppConfig {
         producer_interval: spec.producer_interval,
         producer_jitter: spec.producer_jitter,
@@ -257,12 +312,40 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
         // them per refresh). Reparenting still announces immediately.
         cfg.rpl_dao_period_ticks = 6;
     }
+    if let Some(p) = &spec.peers {
+        let m = spec
+            .mesh
+            .as_ref()
+            .expect("peers mode needs a generated mesh for node positions");
+        cfg.dynamic_routing = true;
+        // Geometry gates radio range (max_link_m) and derives per-link
+        // PER from positions — which is what lets mobility re-shape
+        // the radio graph. The mesh's precomputed adjacency would pin
+        // the world to the initial positions, so drop it.
+        cfg.radio_links = None;
+        let (mut w, mut h) = (0.0f64, 0.0f64);
+        for &(x, y) in &m.positions {
+            w = w.max(x);
+            h = h.max(y);
+        }
+        let mut pc = PeersWorldConfig::new(m.positions.clone(), (w + 1.0, h + 1.0), m.seed);
+        pc.pool = p.pool;
+        pc.path_loss = m.geo.path_loss;
+        pc.max_link_m = m.geo.max_link_m;
+        pc.mobility = p.mobility;
+        pc.pinned = vec![consumer.0];
+        cfg.peers = Some(pc);
+    }
+    let peers_mode = spec.peers.is_some();
     let mut world = World::new(cfg, node_cfgs, app);
     if let Some(m) = &spec.mesh {
-        // Distance-induced PER from the log-distance model, on top of
-        // the Gilbert–Elliott chains.
-        for (a, b, per) in m.link_per_list() {
-            world.set_link_per(NodeId(a), NodeId(b), per);
+        if !peers_mode {
+            // Distance-induced PER from the log-distance model, on top
+            // of the Gilbert–Elliott chains (peers mode derives the
+            // same PER live from geometry instead).
+            for (a, b, per) in m.link_per_list() {
+                world.set_link_per(NodeId(a), NodeId(b), per);
+            }
         }
     }
     for &(a, b, per) in &spec.link_per {
@@ -271,11 +354,37 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     if let Some(faults) = &spec.faults {
         world.install_faults(faults);
     }
-    // Formation phase.
-    world.run_until(Instant::ZERO + spec.warmup);
-    world.reset_records();
     let end = Instant::ZERO + spec.warmup + spec.duration;
-    world.run_until(end);
+    let mut convergence_s = None;
+    if peers_mode {
+        // Step in 1 s increments to observe the first instant the
+        // DODAG covers every node — the run's convergence time.
+        // (Event-stream identical to a single run_until: stepping only
+        // adds observation points.)
+        let mut t = Duration::ZERO;
+        let total = spec.warmup + spec.duration;
+        let observe = |world: &World, t: Duration, c: &mut Option<f64>| {
+            if c.is_none() && rpl_converged(world, n, consumer) {
+                *c = Some(t.nanos() as f64 / 1e9);
+            }
+        };
+        while t < spec.warmup {
+            t = (t + Duration::from_secs(1)).min(spec.warmup);
+            world.run_until(Instant::ZERO + t);
+            observe(&world, t, &mut convergence_s);
+        }
+        world.reset_records();
+        while t < total {
+            t = (t + Duration::from_secs(1)).min(total);
+            world.run_until(Instant::ZERO + t);
+            observe(&world, t, &mut convergence_s);
+        }
+    } else {
+        // Formation phase.
+        world.run_until(Instant::ZERO + spec.warmup);
+        world.reset_records();
+        world.run_until(end);
+    }
     // Drain: let in-flight exchanges finish so PDR is not truncated.
     world.run_until(end + Duration::from_secs(10));
 
@@ -288,9 +397,11 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
         TransportMode::Conn => spec.policy.label(),
         TransportMode::Adv(_) => "adv".to_string(),
     };
+    let mode = if peers_mode { "peers " } else { "" };
     let label = format!(
-        "{} {} producer={}ms",
+        "{} {}{} producer={}ms",
         topo_name,
+        mode,
         transport_label,
         spec.producer_interval.millis()
     );
@@ -312,9 +423,21 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
         metrics,
         timeline,
         recovery,
+        convergence_s,
         label,
         records,
     }
+}
+
+/// Every non-root node holds an RPL parent — the DODAG covers the
+/// mesh and upward routes exist everywhere.
+fn rpl_converged(world: &World, n: usize, root: NodeId) -> bool {
+    (0..n as u16).filter(|&i| NodeId(i) != root).all(|i| {
+        world
+            .rpl_state(NodeId(i))
+            .map(|(_, parent)| parent.is_some())
+            .unwrap_or(false)
+    })
 }
 
 fn warn_trace_dropped(label: &str, dropped: u64) {
@@ -359,6 +482,7 @@ pub fn run_ieee(spec: &ExperimentSpec) -> ExperimentResult {
         metrics: mindgap_obs::MetricsSnapshot::default(),
         timeline: mindgap_obs::Timeline::default(),
         recovery: Vec::new(),
+        convergence_s: None,
         label,
         records,
     }
@@ -492,6 +616,61 @@ mod tests {
             lossy.records.ll_attempts(),
             clean.records.ll_attempts()
         );
+    }
+
+    #[test]
+    fn peers_cold_start_converges_and_heals() {
+        // The issue's headline scenario: a 50-node random-geometric
+        // world starts with zero connections, forms a connected RPL
+        // DODAG through discovery + peer policy alone, then heals
+        // after a scripted crash/reboot burst.
+        let mesh = MeshTopology::random_geometric(50, 250.0, 42);
+        let faults = mindgap_chaos::FaultSchedule::new().churn(
+            42,
+            &(1..50u16).collect::<Vec<_>>(),
+            Duration::from_secs(200),
+            Duration::from_secs(60),
+            4,
+            Duration::from_secs(10),
+        );
+        let spec = ExperimentSpec::mesh_default(
+            mesh,
+            IntervalPolicy::Randomized {
+                lo: Duration::from_millis(50),
+                hi: Duration::from_millis(200),
+            },
+            42,
+        )
+        .with_peers()
+        .with_producer_interval(Duration::from_secs(10))
+        .with_duration(Duration::from_secs(180))
+        // 50 nodes × 5 min overflow the default 64 Ki-event ring and
+        // evict the early fault markers recovery analysis keys off.
+        .with_timeline_cap(1 << 21)
+        .with_faults(faults);
+        let res = run_ble(&spec);
+        assert!(res.label.contains("peers"), "{}", res.label);
+        let conv = res.convergence_s.expect("cold start must converge");
+        assert!(
+            conv < 120.0,
+            "DODAG took {conv} s to cover 50 nodes (warmup is 120 s)"
+        );
+        assert!(res.records.total_sent() > 100, "{}", res.records.total_sent());
+        assert!(
+            res.records.coap_pdr() > 0.5,
+            "PDR under churn collapsed: {}",
+            res.records.coap_pdr()
+        );
+        if mindgap_obs::enabled() {
+            assert_eq!(res.recovery.len(), 4, "one record per scripted crash");
+            // At least one crash must be detected and healed: a new
+            // connection forms after the loss is noticed.
+            let healed = res
+                .recovery
+                .iter()
+                .any(|r| r.detect_ns.is_some() && r.reconnect_ns.is_some());
+            assert!(healed, "no crash healed: {:?}", res.recovery);
+        }
     }
 
     #[test]

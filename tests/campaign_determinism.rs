@@ -221,6 +221,85 @@ fn chaos_artifacts_identical_across_worker_counts() {
     let _ = fs::remove_dir_all(&root4);
 }
 
+/// Peers-mode churn runs join the worker-count-independence contract:
+/// a world that starts cold, forms its connection graph from
+/// discovery + RSSI policy, walks its nodes around, and absorbs a
+/// scripted crash burst must still produce byte-identical artifacts
+/// whether the pool runs 1 or 4 jobs in parallel. This is the widest
+/// determinism surface in the repo — discovery jitter, peer backoff,
+/// mobility steps, and reboot RNG forks all land in the artifact.
+#[test]
+fn churn_artifacts_identical_across_worker_counts() {
+    use mindgap::chaos::FaultSchedule;
+    use mindgap::core::MobilityModel;
+    use mindgap_testbed::MeshTopology;
+    let grid = || {
+        GridBuilder::new("churn-det", 42)
+            .axis("mobility", ["static", "walk"].iter().map(|s| s.to_string()))
+            .explicit_seeds(&[42, 43])
+            .build()
+    };
+    let body = |job: &mindgap_campaign::Job| {
+        let mesh = MeshTopology::random_geometric(20, 160.0, job.seed);
+        let faults = FaultSchedule::new().churn(
+            job.seed,
+            &(1..20u16).collect::<Vec<_>>(),
+            Duration::from_secs(70),
+            Duration::from_secs(30),
+            2,
+            Duration::from_secs(8),
+        );
+        let mut spec = ExperimentSpec::mesh_default(
+            mesh,
+            IntervalPolicy::Randomized {
+                lo: Duration::from_millis(50),
+                hi: Duration::from_millis(200),
+            },
+            job.seed,
+        )
+        .with_producer_interval(Duration::from_secs(10))
+        .with_duration(Duration::from_secs(60))
+        .with_faults(faults);
+        spec.warmup = Duration::from_secs(60);
+        spec = if job.params["mobility"] == "walk" {
+            spec.with_peers_mobility(MobilityModel::walk_default())
+        } else {
+            spec.with_peers()
+        };
+        to_job_result(&run_ble(&spec), &[])
+    };
+    let root1 = scratch("churn-w1");
+    let root4 = scratch("churn-w4");
+    let report1 = mindgap_campaign::run(&grid(), &quiet(root1.clone(), 1), body);
+    let report4 = mindgap_campaign::run(&grid(), &quiet(root4.clone(), 4), body);
+    assert!(report1.failures().is_empty(), "{:?}", report1.failures());
+    assert!(report4.failures().is_empty());
+    let bytes1 = named_artifact_bytes(&root1, "churn-det");
+    let bytes4 = named_artifact_bytes(&root4, "churn-det");
+    assert_eq!(bytes1.len(), 4);
+    assert_eq!(
+        bytes1, bytes4,
+        "peers-mode churn artifacts must not depend on worker count"
+    );
+    // Non-vacuous: the cold start converged and recorded its
+    // convergence time in every artifact.
+    for (name, bytes) in &bytes1 {
+        let text = std::str::from_utf8(bytes).unwrap();
+        assert!(
+            text.contains("convergence_s"),
+            "{name}: convergence metric missing"
+        );
+        if mindgap::obs::enabled() {
+            assert!(
+                text.contains("ll_peer_attempts"),
+                "{name}: peer-manager counters missing"
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&root1);
+    let _ = fs::remove_dir_all(&root4);
+}
+
 /// Like [`artifact_bytes`] but for any campaign name.
 fn named_artifact_bytes(root: &Path, name: &str) -> BTreeMap<String, Vec<u8>> {
     let jobs = root.join(name).join("jobs");
