@@ -1,0 +1,538 @@
+//! Multi-process campaign sharding: file-locked job claims with
+//! expiring leases over the [`ArtifactStore`].
+//!
+//! The thread pool in [`pool`](crate::pool) parallelizes a campaign
+//! across one process's cores; this module parallelizes it across
+//! *processes* (possibly short-lived, possibly crashing) sharing one
+//! store directory. The unit of claiming — a **shard** — is one job:
+//! the finest granularity the store supports, which keeps stragglers
+//! cheap to redistribute.
+//!
+//! Protocol (everything under `<campaign>/claims/`):
+//!
+//! * **Claim** — a worker claims job `J` by creating
+//!   `claims/<J>.claim` with `O_EXCL` semantics
+//!   ([`std::fs::OpenOptions::create_new`]), which is atomic on every
+//!   platform we care about. The file body records the owner (worker
+//!   name + pid) for the dashboard; ownership is the file's existence.
+//! * **Lease** — a claim is *live* while its mtime is fresher than
+//!   [`ShardConfig::lease`]. The worker's heartbeat thread rewrites
+//!   the claim body every `lease / 3`, bumping the mtime. A worker
+//!   that crashes (or is SIGKILLed) stops heartbeating, its claims go
+//!   stale, and any other worker may **reclaim** them: rename the
+//!   stale claim aside (only one renamer wins — the loser's rename
+//!   fails with `NotFound`) and retry the normal claim path.
+//! * **Release** — completing a job writes its artifact through the
+//!   normal atomic store path *first*, then removes the claim. A
+//!   failed (panicking) job writes `claims/<J>.failed` with the panic
+//!   message so sibling workers stop retrying it this launch; like
+//!   single-process runs, the *next* launch retries failed jobs
+//!   (failure markers are cleaned at supervisor startup).
+//!
+//! Claims are an efficiency mechanism, not a correctness one: if two
+//! workers ever do run the same job (a steal racing a slow-but-alive
+//! owner), both compute identical bytes — job bodies are pure
+//! functions of the [`Job`] — and both write through the store's
+//! atomic temp-file + rename, so the artifact set is unchanged. This
+//! is what keeps fleet output byte-identical to `--jobs N` runs.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime};
+
+use crate::grid::Campaign;
+use crate::job::{Job, JobResult};
+use crate::pool::RunConfig;
+use crate::store::ArtifactStore;
+
+/// Knobs for one sharded worker.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker name recorded in claims and status files (`w0`, `w1`…).
+    pub worker: String,
+    /// A claim older than this (no heartbeat) is considered abandoned
+    /// and may be reclaimed by another worker.
+    pub lease: Duration,
+    /// How long to sleep between scans when every remaining job is
+    /// claimed by someone else.
+    pub poll: Duration,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            worker: format!("pid{}", std::process::id()),
+            lease: Duration::from_secs(30),
+            poll: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The claim directory of one campaign store.
+#[derive(Debug, Clone)]
+pub struct Claims {
+    dir: PathBuf,
+}
+
+/// Why [`Claims::try_claim`] did not hand out a claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimDenied {
+    /// Another worker holds a live lease on the job.
+    Held,
+    /// The job carries a failure marker from this launch.
+    Failed,
+}
+
+impl Claims {
+    /// Claims directory for `store` (`<campaign>/claims/`).
+    pub fn new(store: &ArtifactStore) -> Claims {
+        Claims {
+            dir: store.dir().join("claims"),
+        }
+    }
+
+    /// The directory holding claim and failure-marker files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn claim_path(&self, job_id: &str) -> PathBuf {
+        self.dir.join(format!("{job_id}.claim"))
+    }
+
+    fn failed_path(&self, job_id: &str) -> PathBuf {
+        self.dir.join(format!("{job_id}.failed"))
+    }
+
+    /// Try to claim `job_id` for `worker`. Stale claims (mtime older
+    /// than `lease`) are stolen. Returns the claim file path on
+    /// success so the caller can heartbeat and release it.
+    pub fn try_claim(
+        &self,
+        job_id: &str,
+        worker: &str,
+        lease: Duration,
+    ) -> Result<PathBuf, ClaimDenied> {
+        if self.failed_path(job_id).exists() {
+            return Err(ClaimDenied::Failed);
+        }
+        let path = self.claim_path(job_id);
+        fs::create_dir_all(&self.dir).ok();
+        match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "worker={worker}\npid={}", std::process::id());
+                Ok(path)
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                if claim_age(&path).map(|age| age > lease).unwrap_or(false) {
+                    // Stale: rename it aside (one winner), then retry
+                    // the normal create_new path. The graveyard name
+                    // includes our pid so two stealers never collide.
+                    let aside = self
+                        .dir
+                        .join(format!(".{job_id}.stale.{}", std::process::id()));
+                    if fs::rename(&path, &aside).is_ok() {
+                        fs::remove_file(&aside).ok();
+                        return self.try_claim(job_id, worker, lease);
+                    }
+                }
+                Err(ClaimDenied::Held)
+            }
+            // Treat unexpected I/O errors as "held": the job stays
+            // pending and another scan (or worker) will pick it up.
+            Err(_) => Err(ClaimDenied::Held),
+        }
+    }
+
+    /// Refresh the lease on a held claim (rewrites the body, bumping
+    /// the mtime).
+    pub fn heartbeat(&self, claim: &Path, worker: &str) {
+        let _ = fs::write(
+            claim,
+            format!("worker={worker}\npid={}\n", std::process::id()),
+        );
+    }
+
+    /// Release a claim after its artifact landed.
+    pub fn release(&self, claim: &Path) {
+        fs::remove_file(claim).ok();
+    }
+
+    /// Record a job failure so sibling workers stop retrying it this
+    /// launch. The claim itself is released.
+    pub fn mark_failed(&self, job_id: &str, claim: &Path, msg: &str) {
+        let _ = fs::write(self.failed_path(job_id), msg);
+        self.release(claim);
+    }
+
+    /// Read a failure marker, if present.
+    pub fn failure(&self, job_id: &str) -> Option<String> {
+        fs::read_to_string(self.failed_path(job_id)).ok()
+    }
+
+    /// Remove every failure marker (a fresh launch retries failed
+    /// jobs, matching single-process resume semantics).
+    pub fn clear_failures(&self) {
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                if e.path().extension().is_some_and(|x| x == "failed") {
+                    fs::remove_file(e.path()).ok();
+                }
+            }
+        }
+    }
+
+    /// `(job_id, worker)` pairs of currently-held claims, sorted by
+    /// job id (dashboard food; best-effort snapshot).
+    pub fn held(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                let path = e.path();
+                if path.extension().is_some_and(|x| x == "claim") {
+                    let job = path
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or_default()
+                        .to_string();
+                    let owner = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|body| {
+                            body.lines()
+                                .find_map(|l| l.strip_prefix("worker=").map(str::to_string))
+                        })
+                        .unwrap_or_else(|| "?".into());
+                    out.push((job, owner));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+fn claim_age(path: &Path) -> Option<Duration> {
+    let mtime = fs::metadata(path).ok()?.modified().ok()?;
+    SystemTime::now().duration_since(mtime).ok()
+}
+
+/// What one sharded worker did during [`run_worker`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Job ids this worker ran to completion (claim order).
+    pub ran: Vec<String>,
+    /// Job ids this worker ran that failed (panicked).
+    pub failed: Vec<String>,
+    /// Jobs found already completed (artifact present) on final scan.
+    pub seen_done: usize,
+}
+
+/// Per-worker status file, written under `<campaign>/fleet/` after
+/// every job so a supervisor can render per-worker health without
+/// talking to the worker. Plain `key=value` lines; freshness is the
+/// file's mtime.
+fn write_worker_status(
+    store: &ArtifactStore,
+    cfg: &ShardConfig,
+    done: usize,
+    failed: usize,
+    current: &str,
+) {
+    let dir = store.dir().join("fleet");
+    fs::create_dir_all(&dir).ok();
+    let _ = fs::write(
+        dir.join(format!("{}.status", cfg.worker)),
+        format!(
+            "worker={}\npid={}\ndone={done}\nfailed={failed}\ncurrent={current}\n",
+            cfg.worker,
+            std::process::id(),
+        ),
+    );
+}
+
+/// Run one sharded worker over `campaign`'s store until every job is
+/// resolved (artifact present or failure-marked), claiming jobs as it
+/// goes. Safe to run in any number of concurrent processes.
+///
+/// `body` must be a pure function of the [`Job`] — the same contract
+/// as [`pool::run`](crate::pool::run) — which is what makes the merged
+/// artifact set byte-identical to a single-process run.
+pub fn run_worker<F>(
+    campaign: &Campaign,
+    run_cfg: &RunConfig,
+    shard_cfg: &ShardConfig,
+    body: F,
+) -> WorkerReport
+where
+    F: Fn(&Job) -> JobResult + Send + Sync,
+{
+    let store = ArtifactStore::new(&run_cfg.out_root, &campaign.name);
+    let claims = Claims::new(&store);
+    let report = Mutex::new(WorkerReport::default());
+    let done_count = AtomicU64::new(0);
+    let failed_count = AtomicU64::new(0);
+    let stop_beat = AtomicBool::new(false);
+    // The claim currently being worked on, heartbeat by a sidecar
+    // thread so leases survive arbitrarily long job bodies.
+    let in_flight: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        let beat_every = shard_cfg.lease / 3;
+        let (claims, in_flight, stop_beat) = (&claims, &in_flight, &stop_beat);
+        let worker = &shard_cfg.worker;
+        scope.spawn(move || {
+            // Short sleeps keep shutdown prompt; writes happen only on
+            // the lease/3 cadence.
+            let mut since_beat = Duration::ZERO;
+            let tick = Duration::from_millis(50).min(beat_every.max(Duration::from_millis(1)));
+            while !stop_beat.load(Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                since_beat += tick;
+                if since_beat >= beat_every {
+                    since_beat = Duration::ZERO;
+                    if let Some(claim) = in_flight.lock().unwrap().as_ref() {
+                        claims.heartbeat(claim, worker);
+                    }
+                }
+            }
+        });
+
+        loop {
+            let mut unresolved = 0usize;
+            let mut progressed = false;
+            for job in &campaign.jobs {
+                if store.load(job).is_some() {
+                    continue; // already done (by anyone)
+                }
+                if claims.failure(&job.id).is_some() {
+                    continue; // failed this launch; next launch retries
+                }
+                match claims.try_claim(&job.id, &shard_cfg.worker, shard_cfg.lease) {
+                    Ok(claim) => {
+                        // Someone may have finished it between our
+                        // store scan and the claim; don't redo work.
+                        if store.load(job).is_some() {
+                            claims.release(&claim);
+                            continue;
+                        }
+                        *in_flight.lock().unwrap() = Some(claim.clone());
+                        write_worker_status(
+                            &store,
+                            shard_cfg,
+                            done_count.load(Ordering::Relaxed) as usize,
+                            failed_count.load(Ordering::Relaxed) as usize,
+                            &job.id,
+                        );
+                        let outcome = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| body(job)),
+                        );
+                        *in_flight.lock().unwrap() = None;
+                        match outcome {
+                            Ok(result) => match store.save(job, &result) {
+                                Ok(()) => {
+                                    claims.release(&claim);
+                                    done_count.fetch_add(1, Ordering::Relaxed);
+                                    report.lock().unwrap().ran.push(job.id.clone());
+                                }
+                                Err(e) => {
+                                    claims.mark_failed(
+                                        &job.id,
+                                        &claim,
+                                        &format!("artifact write failed: {e}"),
+                                    );
+                                    failed_count.fetch_add(1, Ordering::Relaxed);
+                                    report.lock().unwrap().failed.push(job.id.clone());
+                                }
+                            },
+                            Err(payload) => {
+                                claims.mark_failed(
+                                    &job.id,
+                                    &claim,
+                                    &format!("job panicked: {}", panic_msg(&*payload)),
+                                );
+                                failed_count.fetch_add(1, Ordering::Relaxed);
+                                report.lock().unwrap().failed.push(job.id.clone());
+                            }
+                        }
+                        write_worker_status(
+                            &store,
+                            shard_cfg,
+                            done_count.load(Ordering::Relaxed) as usize,
+                            failed_count.load(Ordering::Relaxed) as usize,
+                            "",
+                        );
+                        progressed = true;
+                    }
+                    Err(ClaimDenied::Held) => unresolved += 1,
+                    Err(ClaimDenied::Failed) => {}
+                }
+            }
+            if unresolved == 0 {
+                break; // every job has an artifact or a failure marker
+            }
+            if !progressed {
+                // Everything left is claimed by someone else: wait for
+                // their artifacts to land or their leases to expire.
+                std::thread::sleep(shard_cfg.poll);
+            }
+        }
+        stop_beat.store(true, Ordering::Relaxed);
+    });
+
+    let mut report = report.into_inner().unwrap();
+    report.seen_done = campaign
+        .jobs
+        .iter()
+        .filter(|j| store.load(j).is_some())
+        .count();
+    write_worker_status(&store, shard_cfg, report.ran.len(), report.failed.len(), "done");
+    report
+}
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridBuilder;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mindgap-shard-test-{tag}-{}",
+            std::process::id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn body(job: &Job) -> JobResult {
+        let mut r = JobResult::new(&job.label());
+        r.metric("seed_lo", (job.seed & 0xffff) as f64);
+        r
+    }
+
+    #[test]
+    fn claim_is_exclusive_until_released() {
+        let root = temp_root("excl");
+        let store = ArtifactStore::new(&root, "c");
+        let claims = Claims::new(&store);
+        let lease = Duration::from_secs(60);
+        let c = claims.try_claim("job-a", "w0", lease).unwrap();
+        assert_eq!(claims.try_claim("job-a", "w1", lease), Err(ClaimDenied::Held));
+        assert_eq!(claims.held(), vec![("job-a".into(), "w0".into())]);
+        claims.release(&c);
+        assert!(claims.try_claim("job-a", "w1", lease).is_ok());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stale_claim_is_stolen_fresh_claim_is_not() {
+        let root = temp_root("steal");
+        let store = ArtifactStore::new(&root, "c");
+        let claims = Claims::new(&store);
+        let c = claims.try_claim("job-a", "w0", Duration::from_secs(60)).unwrap();
+        // Fresh claim under a long lease: held.
+        assert_eq!(
+            claims.try_claim("job-a", "w1", Duration::from_secs(60)),
+            Err(ClaimDenied::Held)
+        );
+        // Same claim under a zero lease: instantly stale, stolen.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(claims.try_claim("job-a", "w1", Duration::ZERO).is_ok());
+        let _ = c;
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn failure_marker_stops_retries_and_clears() {
+        let root = temp_root("fail");
+        let store = ArtifactStore::new(&root, "c");
+        let claims = Claims::new(&store);
+        let c = claims.try_claim("job-a", "w0", Duration::from_secs(60)).unwrap();
+        claims.mark_failed("job-a", &c, "boom");
+        assert_eq!(
+            claims.try_claim("job-a", "w1", Duration::from_secs(60)),
+            Err(ClaimDenied::Failed)
+        );
+        assert_eq!(claims.failure("job-a").as_deref(), Some("boom"));
+        claims.clear_failures();
+        assert!(claims.try_claim("job-a", "w1", Duration::from_secs(60)).is_ok());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn single_worker_completes_campaign_and_artifacts_match_pool() {
+        let c = GridBuilder::new("shard-one", 7)
+            .axis("a", ["1", "2", "3"])
+            .derived_seeds(2)
+            .build();
+        let root_shard = temp_root("one-shard");
+        let root_pool = temp_root("one-pool");
+        let shard_cfg = ShardConfig {
+            worker: "w0".into(),
+            ..ShardConfig::default()
+        };
+        let run_shard = RunConfig {
+            workers: 1,
+            out_root: root_shard.clone(),
+            resume: true,
+            progress: false,
+        };
+        let report = run_worker(&c, &run_shard, &shard_cfg, body);
+        assert_eq!(report.ran.len(), 6);
+        assert_eq!(report.seen_done, 6);
+        let run_pool = RunConfig {
+            workers: 4,
+            out_root: root_pool.clone(),
+            resume: false,
+            progress: false,
+        };
+        crate::pool::run(&c, &run_pool, body);
+        for job in &c.jobs {
+            let a = fs::read(ArtifactStore::new(&root_shard, &c.name).job_path(&job.id)).unwrap();
+            let b = fs::read(ArtifactStore::new(&root_pool, &c.name).job_path(&job.id)).unwrap();
+            assert_eq!(a, b, "artifact {} differs shard vs pool", job.id);
+        }
+        // No claims left behind.
+        let claims = Claims::new(&ArtifactStore::new(&root_shard, &c.name));
+        assert!(claims.held().is_empty());
+        fs::remove_dir_all(&root_shard).ok();
+        fs::remove_dir_all(&root_pool).ok();
+    }
+
+    #[test]
+    fn panicking_job_is_marked_failed_and_worker_finishes() {
+        let c = GridBuilder::new("shard-panic", 1)
+            .axis("a", ["ok", "boom"])
+            .build();
+        let root = temp_root("panic");
+        let run_cfg = RunConfig {
+            workers: 1,
+            out_root: root.clone(),
+            resume: true,
+            progress: false,
+        };
+        let report = run_worker(&c, &run_cfg, &ShardConfig::default(), |job| {
+            if job.params["a"] == "boom" {
+                panic!("intentional");
+            }
+            body(job)
+        });
+        assert_eq!(report.ran.len(), 1);
+        assert_eq!(report.failed.len(), 1);
+        let claims = Claims::new(&ArtifactStore::new(&root, &c.name));
+        assert!(claims.failure(&c.jobs[1].id).unwrap().contains("intentional"));
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,264 @@
+//! Incremental campaign aggregation: fold artifacts as they land.
+//!
+//! The post-hoc path ([`agg`](crate::agg)) reads every artifact after
+//! the campaign completes. A live dashboard cannot wait for that, so
+//! [`StoreWatcher`] polls the store's `jobs/` directory, parses only
+//! files it has not seen before, and folds each new artifact into
+//! per-configuration running summaries ([`Running`]: count / mean /
+//! min / max in one pass, Welford-style mean update). Every poll is
+//! O(new artifacts), so watching a 10 000-job campaign costs the same
+//! per tick as watching a 10-job one once it is warm.
+//!
+//! The watcher is read-only and crash-agnostic: it never takes claims,
+//! never writes, and tolerates artifacts appearing in any order from
+//! any number of worker processes. Because artifacts are written
+//! atomically, a parse failure means "not an artifact" (a temp file,
+//! a foreign file), never "half a job" — such files are skipped and
+//! retried on the next poll.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fs;
+use std::path::PathBuf;
+
+use crate::grid::Campaign;
+use crate::job::Job;
+use crate::json::Value;
+use crate::store::ArtifactStore;
+
+/// One metric's running summary: streaming count/mean/min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Running {
+    /// Samples folded in so far.
+    pub count: u64,
+    /// Running mean (Welford update — no sum overflow, stable).
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Running {
+    fn new(v: f64) -> Running {
+        Running {
+            count: 1,
+            mean: v,
+            min: v,
+            max: v,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.mean += (v - self.mean) / self.count as f64;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// One completed job as seen by the watcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeenJob {
+    /// Job id (artifact file stem).
+    pub id: String,
+    /// Configuration key the job belongs to.
+    pub config: String,
+    /// The job's scalar metrics (series are left on disk — the
+    /// dashboard drill-down reads the artifact directly when asked).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Incremental aggregation state over one campaign's store.
+#[derive(Debug)]
+pub struct StoreWatcher {
+    jobs_dir: PathBuf,
+    /// job id → config key, from the campaign definition; also the
+    /// filter that keeps foreign files out of the aggregates.
+    id_to_config: BTreeMap<String, String>,
+    seen: HashSet<String>,
+    /// config → metric → running summary.
+    per_config: BTreeMap<String, BTreeMap<String, Running>>,
+    /// Completion order of observed jobs (most recent last).
+    completed: Vec<SeenJob>,
+}
+
+impl StoreWatcher {
+    /// Watch `campaign`'s store under `out_root`.
+    pub fn new(out_root: &std::path::Path, campaign: &Campaign) -> StoreWatcher {
+        let store = ArtifactStore::new(out_root, &campaign.name);
+        StoreWatcher {
+            jobs_dir: store.dir().join("jobs"),
+            id_to_config: campaign
+                .jobs
+                .iter()
+                .map(|j| (j.id.clone(), j.config.clone()))
+                .collect(),
+            seen: HashSet::new(),
+            per_config: BTreeMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Scan for artifacts that appeared since the last poll and fold
+    /// them in. Returns how many new artifacts were absorbed.
+    pub fn poll(&mut self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.jobs_dir) else {
+            return 0; // store not created yet
+        };
+        let mut absorbed = 0;
+        for e in entries.flatten() {
+            let path = e.path();
+            if path.extension().is_none_or(|x| x != "json") {
+                continue;
+            }
+            let Some(id) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if self.seen.contains(id) {
+                continue;
+            }
+            let Some(config) = self.id_to_config.get(id).cloned() else {
+                continue; // not a job of this campaign
+            };
+            let Some(metrics) = read_metrics(&path) else {
+                continue; // unparsable now; retry next poll
+            };
+            self.seen.insert(id.to_string());
+            let bucket = self.per_config.entry(config.clone()).or_default();
+            for (k, &v) in &metrics {
+                if v.is_nan() {
+                    continue;
+                }
+                bucket
+                    .entry(k.clone())
+                    .and_modify(|r| r.push(v))
+                    .or_insert_with(|| Running::new(v));
+            }
+            self.completed.push(SeenJob {
+                id: id.to_string(),
+                config,
+                metrics,
+            });
+            absorbed += 1;
+        }
+        absorbed
+    }
+
+    /// Completed-job count observed so far.
+    pub fn done(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Total jobs in the campaign definition.
+    pub fn total(&self) -> usize {
+        self.id_to_config.len()
+    }
+
+    /// Whether a specific job's artifact has been observed.
+    pub fn is_done(&self, job: &Job) -> bool {
+        self.seen.contains(&job.id)
+    }
+
+    /// Per-configuration running summaries (config → metric →
+    /// [`Running`]), in config key order.
+    pub fn summaries(&self) -> &BTreeMap<String, BTreeMap<String, Running>> {
+        &self.per_config
+    }
+
+    /// Observed jobs in completion order (most recent last).
+    pub fn completed(&self) -> &[SeenJob] {
+        &self.completed
+    }
+
+    /// The last `n` completed jobs, most recent first.
+    pub fn recent(&self, n: usize) -> Vec<&SeenJob> {
+        self.completed.iter().rev().take(n).collect()
+    }
+}
+
+/// Parse just the identity and scalar metrics of one artifact.
+fn read_metrics(path: &std::path::Path) -> Option<BTreeMap<String, f64>> {
+    let text = fs::read_to_string(path).ok()?;
+    let doc = Value::parse(&text).ok()?;
+    let obj = doc.as_obj()?;
+    let mut out = BTreeMap::new();
+    for (k, v) in obj.get("metrics")?.as_obj()? {
+        out.insert(k.clone(), v.as_num()?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridBuilder;
+    use crate::job::JobResult;
+    use crate::pool::RunConfig;
+
+    #[test]
+    fn watcher_folds_incrementally_and_matches_final_aggregates() {
+        let c = GridBuilder::new("watch-inc", 3)
+            .axis("a", ["x", "y"])
+            .derived_seeds(3)
+            .build();
+        let root = std::env::temp_dir().join(format!(
+            "mindgap-watch-test-{}",
+            std::process::id()
+        ));
+        fs::remove_dir_all(&root).ok();
+        let store = ArtifactStore::new(&root, &c.name);
+        let mut w = StoreWatcher::new(&root, &c);
+        assert_eq!(w.poll(), 0, "empty store");
+        assert_eq!(w.total(), 6);
+
+        // Land artifacts one at a time; each poll absorbs exactly the
+        // new one.
+        for (i, job) in c.jobs.iter().enumerate() {
+            let mut r = JobResult::new(&job.label());
+            r.metric("v", (i + 1) as f64);
+            r.metric("sometimes", if i % 2 == 0 { i as f64 } else { f64::NAN });
+            store.save(job, &r).unwrap();
+            assert_eq!(w.poll(), 1);
+            assert_eq!(w.done(), i + 1);
+        }
+        assert_eq!(w.poll(), 0, "nothing new");
+
+        // a=x gets jobs 0,1,2 → v mean 2; a=y gets 4,5,6 → mean 5.
+        let sx = &w.summaries()["a=x"]["v"];
+        let sy = &w.summaries()["a=y"]["v"];
+        assert_eq!((sx.count, sx.min, sx.max), (3, 1.0, 3.0));
+        assert!((sx.mean - 2.0).abs() < 1e-12);
+        assert_eq!((sy.count, sy.min, sy.max), (3, 4.0, 6.0));
+        assert!((sy.mean - 5.0).abs() < 1e-12);
+        // NaN samples are skipped, not folded as garbage.
+        assert_eq!(w.summaries()["a=x"]["sometimes"].count, 2);
+        assert_eq!(w.recent(2).len(), 2);
+        assert_eq!(w.recent(2)[0].id, c.jobs[5].id);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn foreign_and_temp_files_are_ignored() {
+        let c = GridBuilder::new("watch-foreign", 1).axis("a", ["1"]).build();
+        let root = std::env::temp_dir().join(format!(
+            "mindgap-watch-foreign-{}",
+            std::process::id()
+        ));
+        fs::remove_dir_all(&root).ok();
+        let store = ArtifactStore::new(&root, &c.name);
+        // Run the real job so the jobs dir exists.
+        let cfg = RunConfig {
+            workers: 1,
+            out_root: root.clone(),
+            resume: false,
+            progress: false,
+        };
+        crate::pool::run(&c, &cfg, |j| JobResult::new(&j.label()));
+        let jobs_dir = store.dir().join("jobs");
+        fs::write(jobs_dir.join("stranger.json"), "{}").unwrap();
+        fs::write(jobs_dir.join(".a=1-s0.tmp"), "{").unwrap();
+        let mut w = StoreWatcher::new(&root, &c);
+        assert_eq!(w.poll(), 1, "only the campaign's own artifact counts");
+        fs::remove_dir_all(&root).ok();
+    }
+}

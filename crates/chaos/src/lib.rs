@@ -24,6 +24,34 @@
 //!   time-to-RPL-repair and packets lost, ready for aggregation with
 //!   `testbed::stats`.
 //!
+//! # Example
+//!
+//! Script a crash, a jammer burst, and a seeded churn window, then
+//! round-trip the schedule through its canonical JSON:
+//!
+//! ```
+//! use mindgap_chaos::{labels, FaultSchedule};
+//! use mindgap_sim::Duration;
+//!
+//! let s = Duration::from_secs;
+//! let sched = FaultSchedule::new()
+//!     .node_crash(s(10), 3, s(5))
+//!     .jammer_burst(s(20), 17, 0.9, s(4))
+//!     .churn(42, &[1, 2, 3], s(30), s(60), 4, s(8));
+//! assert_eq!(sched.len(), 6);
+//! sched.validate(8).expect("every victim exists in an 8-node world");
+//!
+//! // Canonical codec: byte-identical round trip, artifact-safe.
+//! let json = sched.to_json();
+//! let back = FaultSchedule::from_json(&json).unwrap();
+//! assert_eq!(back, sched);
+//! assert_eq!(back.to_json(), json);
+//!
+//! // Injection labels open recovery-attribution windows.
+//! assert!(labels::is_injection(labels::NODE_CRASH));
+//! assert!(!labels::is_injection(labels::NODE_REBOOT));
+//! ```
+//!
 //! [`Timeline`]: mindgap_obs::Timeline
 
 #![forbid(unsafe_code)]

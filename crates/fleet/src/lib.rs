@@ -1,0 +1,208 @@
+//! # mindgap-fleet — multi-process campaign sharding with a live ops view
+//!
+//! The campaign engine (`mindgap-campaign`) parallelizes a grid across
+//! one process's cores; this crate scales it across worker
+//! *processes* and gives the operator the surface the paper's authors
+//! had in the FIT IoT-lab frontend: live progress, per-worker health,
+//! per-configuration metrics as they stream in, and drill-down into
+//! any finished job. Everything is std-only and file-based:
+//!
+//! * **Sharding** — workers claim jobs through file-locked leases over
+//!   the existing atomic artifact store
+//!   (`mindgap_campaign::shard`); a crashed worker's claims expire
+//!   and are reclaimed, and the merged artifact set is byte-identical
+//!   to a single-process `--jobs N` run.
+//! * **[`Supervisor`]** — spawns N worker processes
+//!   (`std::process::Command`), captures their logs, tracks liveness
+//!   and published progress.
+//! * **[`StatusBuilder`]** — folds artifacts *incrementally* as they
+//!   land (O(new) per tick) into a [`FleetStatus`] snapshot.
+//! * **[`HttpServer`]** — a loopback HTTP endpoint serving the
+//!   snapshot as HTML (`/`), JSON (`/status`, `/jobs`), and per-job
+//!   drill-down with an obs timeline summary (`/job/<id>`).
+//! * **[`tui`]** — the same snapshot as a repainting terminal frame.
+//!
+//! The one-call entry point is [`supervise`]; campaign binaries reach
+//! it through `mindgap-bench`'s `--fleet <workers>` flag.
+//!
+//! ## Example: shard a campaign and watch it complete
+//!
+//! A worker here runs in-process for brevity — real fleets spawn
+//! processes via [`Supervisor`] (see `supervise`):
+//!
+//! ```
+//! use mindgap_campaign::{GridBuilder, JobResult, RunConfig, ShardConfig};
+//! use mindgap_fleet::StatusBuilder;
+//!
+//! let campaign = GridBuilder::new("fleet-doc", 42)
+//!     .axis("conn_ms", ["25", "75"])
+//!     .derived_seeds(2)
+//!     .build();
+//! let out_root = std::env::temp_dir().join("mindgap-fleet-doc");
+//! std::fs::remove_dir_all(&out_root).ok();
+//! let run_cfg = RunConfig { workers: 1, out_root: out_root.clone(), ..RunConfig::default() };
+//!
+//! let mut status = StatusBuilder::new(&out_root, &campaign);
+//! assert_eq!(status.tick(&[]).done, 0);
+//!
+//! // A sharded worker claims jobs one by one and writes artifacts
+//! // through the atomic store — any number of these may run
+//! // concurrently, in any mix of threads and processes.
+//! let report = mindgap_campaign::run_worker(
+//!     &campaign,
+//!     &run_cfg,
+//!     &ShardConfig { worker: "w0".into(), ..ShardConfig::default() },
+//!     |job| {
+//!         let mut r = JobResult::new(&job.label());
+//!         r.metric("conn_ms", job.params["conn_ms"].parse().unwrap());
+//!         r
+//!     },
+//! );
+//! assert_eq!(report.ran.len(), 4);
+//!
+//! let snap = status.tick(&[]);
+//! assert!(snap.complete());
+//! assert_eq!(snap.configs["conn_ms=25"]["conn_ms"].mean, 25.0);
+//! # std::fs::remove_dir_all(&out_root).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod status;
+pub mod supervisor;
+pub mod tui;
+
+pub use http::{DashState, HttpServer};
+pub use status::{FleetStatus, JobView, StatusBuilder};
+pub use supervisor::{worker_id, Supervisor, WorkerState};
+
+use std::io;
+use std::process::Command;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mindgap_campaign::{ArtifactStore, Campaign, Claims, RunConfig};
+
+/// Knobs for one supervised fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker processes to spawn.
+    pub workers: usize,
+    /// Serve the HTTP dashboard on this loopback port (`None` = off;
+    /// `Some(0)` picks a free port, printed at startup).
+    pub dash_port: Option<u16>,
+    /// Repaint a TUI frame on stderr each tick.
+    pub tui: bool,
+    /// Supervisor poll/refresh cadence.
+    pub tick: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 2,
+            dash_port: None,
+            tui: false,
+            tick: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What [`supervise`] hands back once every worker exited.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Final worker states (exit codes, per-worker job counts).
+    pub workers: Vec<WorkerState>,
+    /// Final status snapshot.
+    pub status: FleetStatus,
+    /// The dashboard server, still serving. Hold it while writing
+    /// final CSVs so pollers see the run through to completion; drop
+    /// it to stop.
+    pub server: Option<HttpServer>,
+}
+
+impl FleetOutcome {
+    /// Whether every worker exited cleanly.
+    pub fn all_ok(&self) -> bool {
+        self.workers.iter().all(|w| w.exit_ok == Some(true))
+    }
+}
+
+/// Supervise one fleet run of `campaign`: clear stale failure
+/// markers, spawn `fleet.workers` processes via `command(i)` (each
+/// must end up in `mindgap_campaign::run_worker` over the same store
+/// — the `--fleet-worker` path of the bench binaries does exactly
+/// that), and tick the status/dashboard loop until every worker
+/// exits.
+///
+/// The supervisor never runs jobs itself, so a dead supervisor can be
+/// relaunched over the same store and simply resumes.
+pub fn supervise<F>(
+    campaign: &Campaign,
+    run_cfg: &RunConfig,
+    fleet: &FleetConfig,
+    mut command: F,
+) -> io::Result<FleetOutcome>
+where
+    F: FnMut(usize) -> Command,
+{
+    let store = ArtifactStore::new(&run_cfg.out_root, &campaign.name);
+    std::fs::create_dir_all(store.dir())?;
+    // Fresh launch: failed jobs from a previous launch get retried,
+    // matching single-process resume semantics.
+    Claims::new(&store).clear_failures();
+
+    let mut builder = StatusBuilder::new(&run_cfg.out_root, campaign);
+    let mut sup = Supervisor::spawn(store.dir(), fleet.workers, &mut command)?;
+
+    let state = Arc::new(DashState {
+        status: Mutex::new(builder.tick(&[])),
+        store_dir: store.dir().to_path_buf(),
+    });
+    let server = match fleet.dash_port {
+        Some(port) => {
+            let srv = HttpServer::start(port, state.clone())?;
+            eprintln!(
+                "[fleet {}] dashboard: http://{}/ ({} workers)",
+                campaign.name,
+                srv.addr(),
+                fleet.workers
+            );
+            Some(srv)
+        }
+        None => None,
+    };
+
+    let mut painted = 0usize;
+    loop {
+        let done = sup.all_exited();
+        let snapshot = builder.tick(&sup.states());
+        if fleet.tui {
+            painted = tui::paint(&tui::render(&snapshot), painted);
+        }
+        *state.status.lock().unwrap() = snapshot;
+        if done {
+            break;
+        }
+        std::thread::sleep(fleet.tick);
+    }
+
+    let workers = sup.wait();
+    let status = state.status.lock().unwrap().clone();
+    for w in &workers {
+        if w.exit_ok != Some(true) {
+            eprintln!(
+                "[fleet {}] warning: worker {} exited abnormally — its claims were \
+                 reclaimable and the supervisor's final pass re-runs anything unfinished",
+                campaign.name, w.id
+            );
+        }
+    }
+    Ok(FleetOutcome {
+        workers,
+        status,
+        server,
+    })
+}

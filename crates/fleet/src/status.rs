@@ -1,0 +1,340 @@
+//! Campaign status assembly — the data behind `/status` and the TUI.
+//!
+//! A [`StatusBuilder`] owns a [`StoreWatcher`] (incremental
+//! aggregation — each tick folds only the artifacts that landed since
+//! the previous tick) plus the claim and worker views, and produces a
+//! plain-data [`FleetStatus`] snapshot. Snapshots serialize to
+//! deterministic JSON through the campaign crate's codec; wall-clock
+//! quantities (elapsed, ETA, heartbeat ages) exist only here, never in
+//! artifacts, so observing a campaign cannot perturb its bytes.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mindgap_campaign::json::Value;
+use mindgap_campaign::{Campaign, Claims, StoreWatcher};
+use mindgap_campaign::{ArtifactStore, Running};
+
+use crate::supervisor::WorkerState;
+
+/// Status of one job as shown by the dashboard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobView {
+    /// Artifact present.
+    Done,
+    /// Failure-marked this launch.
+    Failed,
+    /// Claimed by the named worker.
+    Claimed(String),
+    /// Not started.
+    Pending,
+}
+
+/// One point-in-time view of a running campaign fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStatus {
+    /// Campaign name.
+    pub campaign: String,
+    /// Total jobs in the grid.
+    pub total: usize,
+    /// Jobs with artifacts.
+    pub done: usize,
+    /// Jobs failure-marked this launch.
+    pub failed: usize,
+    /// `(job_id, status)` in grid order.
+    pub jobs: Vec<(String, JobView)>,
+    /// Supervised workers, if any (empty when watching a store that
+    /// other processes populate).
+    pub workers: Vec<WorkerState>,
+    /// Per-configuration running metric summaries (headline metrics
+    /// only — `obs.*` and `drop_*` stay in the artifacts).
+    pub configs: BTreeMap<String, BTreeMap<String, Running>>,
+    /// Ids of the most recently completed jobs, newest first.
+    pub recent: Vec<String>,
+    /// Seconds since the fleet launched.
+    pub elapsed_s: f64,
+    /// Naive completion estimate from this launch's observed rate
+    /// (`None` until the first fresh artifact lands).
+    pub eta_s: Option<f64>,
+}
+
+impl FleetStatus {
+    /// Fraction of jobs resolved (done + failed), in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            (self.done + self.failed) as f64 / self.total as f64
+        }
+    }
+
+    /// Whether every job is resolved.
+    pub fn complete(&self) -> bool {
+        self.done + self.failed >= self.total
+    }
+
+    /// Deterministically ordered JSON encoding (the `/status` body).
+    pub fn to_json(&self) -> String {
+        let mut doc = BTreeMap::new();
+        doc.insert("campaign".into(), Value::Str(self.campaign.clone()));
+        doc.insert("total".into(), Value::Num(self.total as f64));
+        doc.insert("done".into(), Value::Num(self.done as f64));
+        doc.insert("failed".into(), Value::Num(self.failed as f64));
+        doc.insert(
+            "claimed".into(),
+            Value::Num(
+                self.jobs
+                    .iter()
+                    .filter(|(_, v)| matches!(v, JobView::Claimed(_)))
+                    .count() as f64,
+            ),
+        );
+        doc.insert("elapsed_s".into(), Value::Num(round2(self.elapsed_s)));
+        doc.insert(
+            "eta_s".into(),
+            self.eta_s.map_or(Value::Null, |e| Value::Num(round2(e))),
+        );
+        doc.insert(
+            "workers".into(),
+            Value::Arr(
+                self.workers
+                    .iter()
+                    .map(|w| {
+                        let mut o = BTreeMap::new();
+                        o.insert("id".into(), Value::Str(w.id.clone()));
+                        o.insert("pid".into(), Value::Num(w.pid as f64));
+                        o.insert("alive".into(), Value::Bool(w.alive));
+                        if let Some(ok) = w.exit_ok {
+                            o.insert("exit_ok".into(), Value::Bool(ok));
+                        }
+                        o.insert("done".into(), Value::Num(w.done as f64));
+                        o.insert("failed".into(), Value::Num(w.failed as f64));
+                        o.insert("current".into(), Value::Str(w.current.clone()));
+                        if w.beat_age_s.is_finite() && w.beat_age_s != f64::MAX {
+                            o.insert("beat_age_s".into(), Value::Num(round2(w.beat_age_s)));
+                        }
+                        Value::Obj(o)
+                    })
+                    .collect(),
+            ),
+        );
+        doc.insert(
+            "configs".into(),
+            Value::Obj(
+                self.configs
+                    .iter()
+                    .map(|(config, metrics)| {
+                        (
+                            config.clone(),
+                            Value::Obj(
+                                metrics
+                                    .iter()
+                                    .map(|(k, r)| {
+                                        let mut o = BTreeMap::new();
+                                        o.insert("count".into(), Value::Num(r.count as f64));
+                                        o.insert("mean".into(), Value::Num(r.mean));
+                                        o.insert("min".into(), Value::Num(r.min));
+                                        o.insert("max".into(), Value::Num(r.max));
+                                        (k.clone(), Value::Obj(o))
+                                    })
+                                    .collect(),
+                            ),
+                        )
+                    })
+                    .collect(),
+            ),
+        );
+        doc.insert(
+            "recent".into(),
+            Value::Arr(self.recent.iter().cloned().map(Value::Str).collect()),
+        );
+        Value::Obj(doc).encode()
+    }
+
+    /// JSON array of `(job, status[, worker])` in grid order (the
+    /// `/jobs` body).
+    pub fn jobs_json(&self) -> String {
+        Value::Arr(
+            self.jobs
+                .iter()
+                .map(|(id, view)| {
+                    let mut o = BTreeMap::new();
+                    o.insert("id".into(), Value::Str(id.clone()));
+                    let status = match view {
+                        JobView::Done => "done",
+                        JobView::Failed => "failed",
+                        JobView::Claimed(w) => {
+                            o.insert("worker".into(), Value::Str(w.clone()));
+                            "claimed"
+                        }
+                        JobView::Pending => "pending",
+                    };
+                    o.insert("status".into(), Value::Str(status.into()));
+                    Value::Obj(o)
+                })
+                .collect(),
+        )
+        .encode()
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// Incremental status assembly for one campaign fleet.
+#[derive(Debug)]
+pub struct StatusBuilder {
+    campaign: Campaign,
+    watcher: StoreWatcher,
+    claims: Claims,
+    store_dir: PathBuf,
+    t0: Instant,
+    /// Artifacts that already existed at launch (resume) — excluded
+    /// from the rate estimate.
+    baseline_done: Option<usize>,
+}
+
+impl StatusBuilder {
+    /// Build for `campaign` stored under `out_root`.
+    pub fn new(out_root: &std::path::Path, campaign: &Campaign) -> StatusBuilder {
+        let store = ArtifactStore::new(out_root, &campaign.name);
+        StatusBuilder {
+            watcher: StoreWatcher::new(out_root, campaign),
+            claims: Claims::new(&store),
+            store_dir: store.dir().to_path_buf(),
+            campaign: campaign.clone(),
+            t0: Instant::now(),
+            baseline_done: None,
+        }
+    }
+
+    /// The campaign directory (`<out_root>/<name>`), where artifacts,
+    /// claims and worker files live.
+    pub fn store_dir(&self) -> &std::path::Path {
+        &self.store_dir
+    }
+
+    /// Fold newly landed artifacts and assemble a fresh snapshot.
+    /// `workers` comes from [`crate::Supervisor::states`];
+    /// pass `&[]` when only watching.
+    pub fn tick(&mut self, workers: &[WorkerState]) -> FleetStatus {
+        self.watcher.poll();
+        let baseline = *self.baseline_done.get_or_insert(self.watcher.done());
+        let held: BTreeMap<String, String> = self.claims.held().into_iter().collect();
+        let mut failed = 0usize;
+        let jobs: Vec<(String, JobView)> = self
+            .campaign
+            .jobs
+            .iter()
+            .map(|j| {
+                let view = if self.watcher.is_done(j) {
+                    JobView::Done
+                } else if self.claims.failure(&j.id).is_some() {
+                    failed += 1;
+                    JobView::Failed
+                } else if let Some(w) = held.get(&j.id) {
+                    JobView::Claimed(w.clone())
+                } else {
+                    JobView::Pending
+                };
+                (j.id.clone(), view)
+            })
+            .collect();
+
+        let done = self.watcher.done();
+        let elapsed_s = self.t0.elapsed().as_secs_f64();
+        let fresh = done.saturating_sub(baseline);
+        let remaining = self.campaign.jobs.len().saturating_sub(done + failed);
+        let eta_s = (fresh > 0 && remaining > 0)
+            .then(|| elapsed_s / fresh as f64 * remaining as f64);
+
+        // Headline metrics only: the full set (dozens of obs.*
+        // counters per job) belongs in the drill-down, not the index.
+        let configs = self
+            .watcher
+            .summaries()
+            .iter()
+            .map(|(config, metrics)| {
+                (
+                    config.clone(),
+                    metrics
+                        .iter()
+                        .filter(|(k, _)| !k.starts_with("obs.") && !k.starts_with("drop_"))
+                        .map(|(k, r)| (k.clone(), r.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+
+        FleetStatus {
+            campaign: self.campaign.name.clone(),
+            total: self.campaign.jobs.len(),
+            done,
+            failed,
+            jobs,
+            workers: workers.to_vec(),
+            configs,
+            recent: self
+                .watcher
+                .recent(8)
+                .into_iter()
+                .map(|j| j.id.clone())
+                .collect(),
+            elapsed_s,
+            eta_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mindgap_campaign::{GridBuilder, JobResult, RunConfig};
+
+    #[test]
+    fn status_tracks_store_and_encodes() {
+        let c = GridBuilder::new("status-t", 5)
+            .axis("a", ["1", "2"])
+            .derived_seeds(2)
+            .build();
+        let root = std::env::temp_dir().join(format!(
+            "mindgap-status-test-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        let mut b = StatusBuilder::new(&root, &c);
+        let empty = b.tick(&[]);
+        assert_eq!((empty.total, empty.done), (4, 0));
+        assert_eq!(empty.progress(), 0.0);
+        assert!(!empty.complete());
+        assert!(empty.to_json().contains("\"campaign\":\"status-t\""));
+
+        // Complete the campaign out-of-band, as fleet workers would.
+        let cfg = RunConfig {
+            workers: 2,
+            out_root: root.clone(),
+            resume: false,
+            progress: false,
+        };
+        mindgap_campaign::run(&c, &cfg, |job| {
+            let mut r = JobResult::new(&job.label());
+            r.metric("coap_pdr", 0.5 + job.seed_index as f64 / 10.0);
+            r.metric("obs.noise", 1.0);
+            r
+        });
+        let full = b.tick(&[]);
+        assert_eq!(full.done, 4);
+        assert!(full.complete());
+        assert!(full.jobs.iter().all(|(_, v)| *v == JobView::Done));
+        // Headline metrics survive; obs.* is filtered from the index.
+        let a1 = &full.configs["a=1"];
+        assert_eq!(a1["coap_pdr"].count, 2);
+        assert!(!a1.contains_key("obs.noise"));
+        let json = full.to_json();
+        assert!(json.contains("\"done\":4"), "{json}");
+        assert!(full.jobs_json().contains("\"status\":\"done\""));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,258 @@
+//! Worker-process supervision.
+//!
+//! The supervisor spawns N worker processes (normally re-invocations
+//! of the current campaign binary with `--fleet-worker <id>`), pipes
+//! each worker's stdout/stderr into `<campaign>/fleet/<id>.log`, and
+//! tracks liveness plus the per-worker progress each worker publishes
+//! through its `<campaign>/fleet/<id>.status` file (written by
+//! `mindgap_campaign::shard::run_worker` after every job).
+//!
+//! Workers are independent: one crashing (or being SIGKILLed) neither
+//! stops the others nor loses work — its shard claims go stale and are
+//! reclaimed, which the multi-process tests in this crate pin down.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::SystemTime;
+
+/// Conventional worker id for index `i` (`w0`, `w1`, …).
+pub fn worker_id(i: usize) -> String {
+    format!("w{i}")
+}
+
+/// One supervised worker process.
+#[derive(Debug)]
+pub struct Worker {
+    /// Worker id (`w0`, `w1`, …) — matches claim owners and status
+    /// files.
+    pub id: String,
+    child: Child,
+    /// Captured exit status once the worker terminated.
+    pub exited: Option<std::process::ExitStatus>,
+}
+
+/// Live view of one worker, merged from process state and the
+/// worker's status file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerState {
+    /// Worker id.
+    pub id: String,
+    /// OS pid.
+    pub pid: u32,
+    /// Still running?
+    pub alive: bool,
+    /// Exited successfully? (`None` while alive.)
+    pub exit_ok: Option<bool>,
+    /// Jobs this worker completed (from its status file).
+    pub done: u64,
+    /// Jobs this worker failed.
+    pub failed: u64,
+    /// Job currently being run (`""` between jobs, `"done"` at exit).
+    pub current: String,
+    /// Seconds since the worker last published progress (`f64::MAX`
+    /// when it never has).
+    pub beat_age_s: f64,
+}
+
+/// Spawns and watches a set of worker processes.
+#[derive(Debug)]
+pub struct Supervisor {
+    workers: Vec<Worker>,
+    fleet_dir: PathBuf,
+}
+
+impl Supervisor {
+    /// Spawn `n` workers for the campaign stored at `campaign_dir`
+    /// (`<out_root>/campaigns/<name>`). `command` builds the worker
+    /// command line for index `i`; the supervisor adds log
+    /// redirection. Worker logs and status files live under
+    /// `<campaign_dir>/fleet/`.
+    pub fn spawn<F>(campaign_dir: &Path, n: usize, mut command: F) -> io::Result<Supervisor>
+    where
+        F: FnMut(usize) -> Command,
+    {
+        let fleet_dir = campaign_dir.join("fleet");
+        fs::create_dir_all(&fleet_dir)?;
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = worker_id(i);
+            // Stale status files from a previous launch would read as
+            // live progress; clear them before the worker starts.
+            fs::remove_file(fleet_dir.join(format!("{id}.status"))).ok();
+            let log = fs::File::create(fleet_dir.join(format!("{id}.log")))?;
+            let child = command(i)
+                .stdout(Stdio::from(log.try_clone()?))
+                .stderr(Stdio::from(log))
+                .stdin(Stdio::null())
+                .spawn()?;
+            workers.push(Worker {
+                id,
+                child,
+                exited: None,
+            });
+        }
+        Ok(Supervisor { workers, fleet_dir })
+    }
+
+    /// Number of supervised workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the supervisor has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Poll liveness and merge each worker's published status.
+    pub fn states(&mut self) -> Vec<WorkerState> {
+        let fleet_dir = self.fleet_dir.clone();
+        self.workers
+            .iter_mut()
+            .map(|w| {
+                if w.exited.is_none() {
+                    if let Ok(Some(status)) = w.child.try_wait() {
+                        w.exited = Some(status);
+                    }
+                }
+                let (done, failed, current, beat_age_s) =
+                    read_status(&fleet_dir.join(format!("{}.status", w.id)));
+                WorkerState {
+                    id: w.id.clone(),
+                    pid: w.child.id(),
+                    alive: w.exited.is_none(),
+                    exit_ok: w.exited.map(|s| s.success()),
+                    done,
+                    failed,
+                    current,
+                    beat_age_s,
+                }
+            })
+            .collect()
+    }
+
+    /// Whether every worker has terminated.
+    pub fn all_exited(&mut self) -> bool {
+        self.states().iter().all(|s| !s.alive)
+    }
+
+    /// Block until every worker terminates; returns final states.
+    pub fn wait(&mut self) -> Vec<WorkerState> {
+        for w in &mut self.workers {
+            if w.exited.is_none() {
+                if let Ok(status) = w.child.wait() {
+                    w.exited = Some(status);
+                }
+            }
+        }
+        self.states()
+    }
+
+    /// Kill every still-running worker (used on supervisor shutdown).
+    pub fn kill_all(&mut self) {
+        for w in &mut self.workers {
+            if w.exited.is_none() {
+                w.child.kill().ok();
+                w.exited = w.child.wait().ok();
+            }
+        }
+    }
+}
+
+/// Parse a worker status file; absent file means "no progress yet".
+fn read_status(path: &Path) -> (u64, u64, String, f64) {
+    let age = fs::metadata(path)
+        .ok()
+        .and_then(|m| m.modified().ok())
+        .and_then(|t| SystemTime::now().duration_since(t).ok())
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(f64::MAX);
+    let Ok(body) = fs::read_to_string(path) else {
+        return (0, 0, String::new(), age);
+    };
+    let field = |key: &str| {
+        body.lines()
+            .find_map(|l| l.strip_prefix(key))
+            .unwrap_or_default()
+            .to_string()
+    };
+    (
+        field("done=").parse().unwrap_or(0),
+        field("failed=").parse().unwrap_or(0),
+        field("current="),
+        age,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mindgap-supervisor-test-{tag}-{}",
+            std::process::id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn spawn_wait_and_logs() {
+        let dir = temp_dir("basic");
+        let mut sup = Supervisor::spawn(&dir, 2, |i| {
+            let mut c = Command::new("sh");
+            c.arg("-c").arg(format!("echo worker-{i}-output"));
+            c
+        })
+        .unwrap();
+        assert_eq!(sup.len(), 2);
+        let final_states = sup.wait();
+        assert!(final_states.iter().all(|s| s.exit_ok == Some(true)));
+        let log = fs::read_to_string(dir.join("fleet/w1.log")).unwrap();
+        assert!(log.contains("worker-1-output"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_all_terminates_sleepers() {
+        let dir = temp_dir("kill");
+        let mut sup = Supervisor::spawn(&dir, 1, |_| {
+            let mut c = Command::new("sleep");
+            c.arg("600");
+            c
+        })
+        .unwrap();
+        assert!(!sup.all_exited());
+        sup.kill_all();
+        let states = sup.states();
+        assert!(!states[0].alive);
+        assert_eq!(states[0].exit_ok, Some(false));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn status_files_are_merged() {
+        let dir = temp_dir("status");
+        let mut sup = Supervisor::spawn(&dir, 1, |_| {
+            let mut c = Command::new("sleep");
+            c.arg("600");
+            c
+        })
+        .unwrap();
+        fs::write(
+            dir.join("fleet/w0.status"),
+            "worker=w0\npid=1\ndone=3\nfailed=1\ncurrent=a=1-s0\n",
+        )
+        .unwrap();
+        let s = &sup.states()[0];
+        assert_eq!((s.done, s.failed), (3, 1));
+        assert_eq!(s.current, "a=1-s0");
+        assert!(s.beat_age_s < 30.0);
+        sup.kill_all();
+        fs::remove_dir_all(&dir).ok();
+    }
+}

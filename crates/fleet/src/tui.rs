@@ -1,0 +1,132 @@
+//! Terminal rendering of a [`FleetStatus`] — the `--tui` view.
+//!
+//! Pure string assembly: [`render`] produces one frame, and the
+//! supervisor loop repaints by cursor-homing over the previous frame
+//! with standard ANSI sequences (no terminal crate, no raw mode). The
+//! frame degrades gracefully when piped to a file — it is just lines.
+
+use crate::status::{FleetStatus, JobView};
+
+/// Width of the progress bar in cells.
+const BAR: usize = 40;
+
+/// Render one status frame (no trailing newline, no ANSI inside — the
+/// caller decides how to paint it).
+pub fn render(s: &FleetStatus) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(1024);
+    let filled = (s.progress() * BAR as f64).round() as usize;
+    let claimed = s
+        .jobs
+        .iter()
+        .filter(|(_, v)| matches!(v, JobView::Claimed(_)))
+        .count();
+    let _ = write!(
+        out,
+        "campaign {}  [{}{}] {}/{} done",
+        s.campaign,
+        "#".repeat(filled.min(BAR)),
+        "-".repeat(BAR - filled.min(BAR)),
+        s.done,
+        s.total,
+    );
+    if s.failed > 0 {
+        let _ = write!(out, ", {} FAILED", s.failed);
+    }
+    let _ = write!(out, ", {claimed} running  elapsed {:.0}s", s.elapsed_s);
+    if let Some(eta) = s.eta_s {
+        let _ = write!(out, "  eta {eta:.0}s");
+    }
+    out.push('\n');
+    for w in &s.workers {
+        let state = match (w.alive, w.exit_ok) {
+            (true, _) => "up  ",
+            (false, Some(true)) => "done",
+            (false, _) => "DIED",
+        };
+        let _ = write!(out, "  {:<4} {state}  {:>4} jobs", w.id, w.done);
+        if w.failed > 0 {
+            let _ = write!(out, " ({} failed)", w.failed);
+        }
+        if !w.current.is_empty() && w.current != "done" {
+            let _ = write!(out, "  {}", w.current);
+        }
+        out.push('\n');
+    }
+    // One compact line per configuration with a headline metric, so a
+    // long-running grid shows *results* while it runs, not just
+    // progress.
+    for (config, metrics) in &s.configs {
+        if let Some((k, r)) = metrics
+            .iter()
+            .find(|(k, _)| k.as_str() == "coap_pdr")
+            .or_else(|| metrics.iter().next())
+        {
+            let _ = writeln!(
+                out,
+                "  {config:<40} {k} n={} mean={:.4} [{:.4}, {:.4}]",
+                r.count, r.mean, r.min, r.max
+            );
+        }
+    }
+    out
+}
+
+/// Paint `frame`, erasing the previous paint of `prev_lines` lines.
+/// Returns the new line count to pass next time.
+pub fn paint(frame: &str, prev_lines: usize) -> usize {
+    // Cursor up + clear-to-end erases the previous frame even if the
+    // new one is shorter.
+    eprint!("\x1b[{prev_lines}A\x1b[0J{frame}");
+    frame.lines().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::WorkerState;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn frame_shows_progress_workers_and_metrics() {
+        let mut configs = BTreeMap::new();
+        let mut m = BTreeMap::new();
+        m.insert(
+            "coap_pdr".to_string(),
+            mindgap_campaign::Running {
+                count: 3,
+                mean: 0.95,
+                min: 0.9,
+                max: 1.0,
+            },
+        );
+        configs.insert("a=1".to_string(), m);
+        let s = FleetStatus {
+            campaign: "tui-t".into(),
+            total: 4,
+            done: 2,
+            failed: 1,
+            jobs: vec![("x".into(), JobView::Claimed("w0".into()))],
+            workers: vec![WorkerState {
+                id: "w0".into(),
+                pid: 1,
+                alive: false,
+                exit_ok: Some(false),
+                done: 2,
+                failed: 1,
+                current: String::new(),
+                beat_age_s: f64::MAX,
+            }],
+            configs,
+            recent: vec![],
+            elapsed_s: 10.0,
+            eta_s: Some(5.0),
+        };
+        let frame = render(&s);
+        assert!(frame.contains("2/4 done"));
+        assert!(frame.contains("1 FAILED"));
+        assert!(frame.contains("DIED"));
+        assert!(frame.contains("coap_pdr n=3 mean=0.9500"));
+        assert!(frame.contains("eta 5s"));
+    }
+}

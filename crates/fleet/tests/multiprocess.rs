@@ -1,0 +1,275 @@
+//! Multi-*process* sharding tests — the guarantees the fleet mode
+//! rests on, pinned with real OS processes rather than threads:
+//!
+//! * two concurrent worker processes claim disjoint shards and
+//!   together resolve the whole grid;
+//! * the merged artifact set is byte-identical to an in-process
+//!   `workers: 4` pool run of the same campaign;
+//! * a SIGKILLed worker's claim goes stale once its lease expires and
+//!   the job is reclaimed and re-run by a healthy worker;
+//! * a supervised fleet (spawn → status ticks → HTTP endpoint)
+//!   completes and serves the final counts.
+//!
+//! Worker processes are re-invocations of this test binary: the
+//! `worker_entry` / `stall_entry` tests are no-ops unless the parent
+//! sets the `MINDGAP_TEST_*` environment variables.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use mindgap_campaign::{
+    ArtifactStore, Campaign, Claims, GridBuilder, Job, JobResult, RunConfig, ShardConfig,
+};
+
+/// The shared grid: 3 × 2 configurations × 2 seeds = 12 jobs.
+fn grid(name: &str) -> Campaign {
+    GridBuilder::new(name, 7)
+        .axis("x", ["1", "2", "3"])
+        .axis("mode", ["a", "b"])
+        .derived_seeds(2)
+        .build()
+}
+
+/// The job body every process uses — a pure function of the job, per
+/// the sharding contract.
+fn body(job: &Job) -> JobResult {
+    let x: f64 = job.params["x"].parse().unwrap();
+    let mut r = JobResult::new(&job.label());
+    r.metric("x_sq", x * x);
+    r.metric("seed_lsb", (job.seed & 0xff) as f64);
+    r.series("ramp", vec![x, x + 0.5, x + 1.0]);
+    r
+}
+
+fn run_cfg(root: &Path, workers: usize) -> RunConfig {
+    RunConfig {
+        workers,
+        out_root: root.to_path_buf(),
+        resume: true,
+        progress: false,
+    }
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mindgap-mp-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Re-invoke this test binary so exactly one entry-point test runs in
+/// a child process with the given environment.
+fn respawn(test: &str, envs: &[(&str, &str)]) -> Child {
+    let mut c = Command::new(std::env::current_exe().unwrap());
+    c.args([test, "--exact", "--nocapture"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .stdin(Stdio::null());
+    for (k, v) in envs {
+        c.env(k, v);
+    }
+    c.spawn().unwrap()
+}
+
+/// Child entry: one sharded worker over the campaign named in the
+/// environment. Writes the list of jobs it ran next to the store so
+/// the parent can check shard disjointness.
+#[test]
+fn worker_entry() {
+    let Ok(id) = std::env::var("MINDGAP_TEST_WORKER") else {
+        return;
+    };
+    let root = PathBuf::from(std::env::var("MINDGAP_TEST_ROOT").unwrap());
+    let campaign = grid(&std::env::var("MINDGAP_TEST_CAMPAIGN").unwrap());
+    let shard = ShardConfig {
+        worker: id.clone(),
+        ..ShardConfig::default()
+    };
+    let report = mindgap_campaign::run_worker(&campaign, &run_cfg(&root, 1), &shard, body);
+    fs::write(root.join(format!("ran-{id}.txt")), report.ran.join("\n")).unwrap();
+}
+
+/// Child entry: claim one job, then stall forever without heartbeat —
+/// the shape of a worker that was SIGKILLed mid-job.
+#[test]
+fn stall_entry() {
+    let Ok(job_id) = std::env::var("MINDGAP_TEST_STALL") else {
+        return;
+    };
+    let root = PathBuf::from(std::env::var("MINDGAP_TEST_ROOT").unwrap());
+    let campaign = grid(&std::env::var("MINDGAP_TEST_CAMPAIGN").unwrap());
+    let store = ArtifactStore::new(&root, &campaign.name);
+    fs::create_dir_all(store.dir()).unwrap();
+    Claims::new(&store)
+        .try_claim(&job_id, "stall", Duration::from_secs(3600))
+        .unwrap();
+    std::thread::sleep(Duration::from_secs(600));
+}
+
+#[test]
+fn two_worker_processes_claim_disjoint_shards() {
+    let root = temp_root("disjoint");
+    let name = "mp-disjoint";
+    let campaign = grid(name);
+    let mut kids: Vec<Child> = (0..2)
+        .map(|i| {
+            respawn(
+                "worker_entry",
+                &[
+                    ("MINDGAP_TEST_WORKER", &format!("w{i}")),
+                    ("MINDGAP_TEST_ROOT", root.to_str().unwrap()),
+                    ("MINDGAP_TEST_CAMPAIGN", name),
+                ],
+            )
+        })
+        .collect();
+    for k in &mut kids {
+        assert!(k.wait().unwrap().success());
+    }
+
+    let ran = |id: &str| -> Vec<String> {
+        fs::read_to_string(root.join(format!("ran-{id}.txt")))
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    };
+    let (r0, r1) = (ran("w0"), ran("w1"));
+    // Claims are exclusive within a launch: no job ran twice, and the
+    // two shards cover the whole grid.
+    assert!(r0.iter().all(|j| !r1.contains(j)), "overlap: {r0:?} {r1:?}");
+    let mut union: Vec<String> = r0.iter().chain(&r1).cloned().collect();
+    union.sort();
+    let mut all: Vec<String> = campaign.jobs.iter().map(|j| j.id.clone()).collect();
+    all.sort();
+    assert_eq!(union, all);
+    // With both workers launched together neither should have starved.
+    assert!(!r0.is_empty() && !r1.is_empty());
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn fleet_artifacts_match_thread_pool_bytes() {
+    let root = temp_root("bytes");
+    let name = "mp-bytes";
+    let campaign = grid(name);
+    let mut kids: Vec<Child> = (0..2)
+        .map(|i| {
+            respawn(
+                "worker_entry",
+                &[
+                    ("MINDGAP_TEST_WORKER", &format!("w{i}")),
+                    ("MINDGAP_TEST_ROOT", root.to_str().unwrap()),
+                    ("MINDGAP_TEST_CAMPAIGN", name),
+                ],
+            )
+        })
+        .collect();
+    for k in &mut kids {
+        assert!(k.wait().unwrap().success());
+    }
+
+    // Same grid through the in-process pool at workers: 4.
+    let ref_root = temp_root("bytes-ref");
+    let report = mindgap_campaign::run(&campaign, &run_cfg(&ref_root, 4), body);
+    assert_eq!(report.completed(), campaign.jobs.len());
+
+    let fleet_store = ArtifactStore::new(&root, name);
+    let pool_store = ArtifactStore::new(&ref_root, name);
+    for job in &campaign.jobs {
+        let a = fs::read(fleet_store.job_path(&job.id)).unwrap();
+        let b = fs::read(pool_store.job_path(&job.id)).unwrap();
+        assert_eq!(a, b, "artifact bytes diverge for {}", job.id);
+    }
+    fs::remove_dir_all(&root).ok();
+    fs::remove_dir_all(&ref_root).ok();
+}
+
+#[test]
+fn killed_worker_lease_expires_and_job_is_rerun() {
+    let root = temp_root("lease");
+    let name = "mp-lease";
+    let campaign = grid(name);
+    let victim_job = campaign.jobs[0].id.clone();
+    let store = ArtifactStore::new(&root, name);
+    fs::create_dir_all(store.dir()).unwrap();
+
+    let mut child = respawn(
+        "stall_entry",
+        &[
+            ("MINDGAP_TEST_STALL", victim_job.as_str()),
+            ("MINDGAP_TEST_ROOT", root.to_str().unwrap()),
+            ("MINDGAP_TEST_CAMPAIGN", name),
+        ],
+    );
+    // Wait for the stalled worker's claim to appear, then kill it.
+    let claims = Claims::new(&store);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !claims.held().iter().any(|(j, _)| j == &victim_job) {
+        assert!(Instant::now() < deadline, "stalled worker never claimed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Nobody heartbeats the orphaned claim; once it outlives the
+    // rescuer's lease the rescuer steals it and runs the job.
+    std::thread::sleep(Duration::from_millis(600));
+    let rescuer = ShardConfig {
+        worker: "rescue".into(),
+        lease: Duration::from_millis(400),
+        poll: Duration::from_millis(25),
+    };
+    let report = mindgap_campaign::run_worker(&campaign, &run_cfg(&root, 1), &rescuer, body);
+    assert!(
+        report.ran.contains(&victim_job),
+        "victim job not re-run: {report:?}"
+    );
+    assert_eq!(report.ran.len(), campaign.jobs.len());
+    for job in &campaign.jobs {
+        assert!(store.job_path(&job.id).exists());
+    }
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn supervised_fleet_completes_and_serves_status() {
+    use std::io::{Read, Write};
+
+    let root = temp_root("supervise");
+    let name = "mp-supervise";
+    let campaign = grid(name);
+    let fleet_cfg = mindgap_fleet::FleetConfig {
+        workers: 2,
+        dash_port: Some(0),
+        tui: false,
+        tick: Duration::from_millis(50),
+    };
+    let exe = std::env::current_exe().unwrap();
+    let outcome = mindgap_fleet::supervise(&campaign, &run_cfg(&root, 1), &fleet_cfg, |i| {
+        let mut c = Command::new(&exe);
+        c.args(["worker_entry", "--exact", "--nocapture"])
+            .env("MINDGAP_TEST_WORKER", format!("w{i}"))
+            .env("MINDGAP_TEST_ROOT", &root)
+            .env("MINDGAP_TEST_CAMPAIGN", name);
+        c
+    })
+    .unwrap();
+
+    assert!(outcome.all_ok(), "{:?}", outcome.workers);
+    assert!(outcome.status.complete());
+    assert_eq!(outcome.status.done, campaign.jobs.len());
+
+    // The dashboard is still serving the final snapshot.
+    let server = outcome.server.as_ref().unwrap();
+    let mut sock = std::net::TcpStream::connect(server.addr()).unwrap();
+    sock.write_all(b"GET /status HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut resp = String::new();
+    sock.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.contains("\"done\":12"), "{resp}");
+    fs::remove_dir_all(&root).ok();
+}

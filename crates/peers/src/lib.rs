@@ -31,6 +31,36 @@
 //! caller. Connection handles are raw `u64`s so the crate stays below
 //! the BLE layer in the dependency graph (the same trick `mindgap-obs`
 //! uses).
+//!
+//! # Example
+//!
+//! The policy loop by hand — sightings in, actions out, the world
+//! reporting link events back (in the simulator, `World` in peers
+//! mode does exactly this on a fixed tick):
+//!
+//! ```
+//! use mindgap_peers::{PeerAction, PeerConfig, PeerManager};
+//! use mindgap_sim::{Duration, Instant, NodeId, Rng};
+//!
+//! let t = |s| Instant::ZERO + Duration::from_secs(s);
+//! let mut pm = PeerManager::new(
+//!     NodeId(0),
+//!     PeerConfig { target_peers: 1, ..PeerConfig::default() },
+//!     Rng::seed_from_u64(42).fork(5000),
+//! );
+//!
+//! // Two advertisers sighted; the stronger one wins the next tick.
+//! assert!(pm.on_sighting(t(1), NodeId(1), -80.0));
+//! assert!(pm.on_sighting(t(1), NodeId(2), -60.0));
+//! assert_eq!(pm.tick(t(2)), vec![PeerAction::Connect { peer: NodeId(2) }]);
+//!
+//! // The world allocates handle 7, the link opens, and the pool is
+//! // at target — the next tick asks for nothing.
+//! pm.attempt_started(7);
+//! assert!(pm.on_conn_up(t(3), 7, NodeId(2), true).is_empty());
+//! assert_eq!(pm.conn_to(NodeId(2)), Some(7));
+//! assert!(pm.tick(t(4)).is_empty());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
