@@ -1,0 +1,126 @@
+//! Conservative parallel DES support for the mindgap kernel.
+//!
+//! This crate holds the *pure* pieces of the parallel executor —
+//! everything that does not need the `World`: the topology
+//! [`partition`]er, the [`lookahead`] derivation, and the window /
+//! batch accounting ([`ParStats`]). The executor itself lives in
+//! `mindgap-core` (it needs the event loop); see DESIGN.md §13 for
+//! the protocol and its byte-identity argument.
+//!
+//! The protocol in one paragraph: the kernel's event queue orders
+//! same-instant events by a canonical `(time, key, seq)` tuple, so
+//! the *application* order of events is content-determined. The
+//! executor pre-pops a batch of provably node-local events (link- and
+//! adv-layer timers whose handlers touch only their own node's
+//! state), bounded so the batch spans less than one minimum frame
+//! airtime — which guarantees no transmission begun inside the batch
+//! can complete, and therefore no cross-node delivery can land,
+//! before the batch's last member. Handler *computation* then runs on
+//! one thread per shard of the [`partition::Partition`], while the
+//! shared-state *application* of the produced outputs is replayed on
+//! the coordinating thread in exactly the canonical order, splicing
+//! in any offspring events that sort between batch members. Every
+//! artifact byte is produced in apply order, so the output is
+//! identical to the sequential run at any thread count.
+
+pub mod lookahead;
+pub mod partition;
+pub mod pool;
+
+pub use lookahead::{LinkTiming, Lookahead};
+pub use partition::{partition_topology, Partition};
+pub use pool::WorkerPool;
+
+/// Execution counters of one parallel run, exported next to the
+/// benchmark numbers so speedups can be read against how much of the
+/// workload was actually parallelizable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParStats {
+    /// Worker threads the executor ran with.
+    pub threads: usize,
+    /// Barrier windows entered.
+    pub windows: u64,
+    /// Parallel batches executed (≥ 2 events each).
+    pub batches: u64,
+    /// Events whose handlers ran in a parallel compute phase.
+    pub batched_events: u64,
+    /// Events executed serially (unsafe class, singleton batches,
+    /// global ticks).
+    pub seq_events: u64,
+    /// Offspring events spliced between batch applications to keep
+    /// canonical order.
+    pub spliced_events: u64,
+    /// Largest batch seen.
+    pub max_batch: usize,
+}
+
+impl ParStats {
+    /// Total events executed.
+    pub fn total(&self) -> u64 {
+        self.batched_events + self.seq_events
+    }
+
+    /// Fraction of events that went through a parallel compute phase
+    /// — the upper bound on what threading can help with.
+    pub fn par_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.batched_events as f64 / total as f64
+        }
+    }
+
+    /// Fold another run's counters into this one (fleet aggregation).
+    pub fn merge(&mut self, other: &ParStats) {
+        self.threads = self.threads.max(other.threads);
+        self.windows += other.windows;
+        self.batches += other.batches;
+        self.batched_events += other.batched_events;
+        self.seq_events += other.seq_events;
+        self.spliced_events += other.spliced_events;
+        self.max_batch = self.max_batch.max(other.max_batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_fraction_is_batched_over_total() {
+        let mut s = ParStats::default();
+        assert_eq!(s.par_fraction(), 0.0);
+        s.batched_events = 30;
+        s.seq_events = 70;
+        assert!((s.par_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(s.total(), 100);
+    }
+
+    #[test]
+    fn merge_accumulates_and_maxes() {
+        let mut a = ParStats {
+            threads: 2,
+            windows: 5,
+            batches: 3,
+            batched_events: 10,
+            seq_events: 20,
+            spliced_events: 1,
+            max_batch: 4,
+        };
+        let b = ParStats {
+            threads: 4,
+            windows: 1,
+            batches: 2,
+            batched_events: 6,
+            seq_events: 4,
+            spliced_events: 0,
+            max_batch: 9,
+        };
+        a.merge(&b);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.windows, 6);
+        assert_eq!(a.batched_events, 16);
+        assert_eq!(a.max_batch, 9);
+    }
+}

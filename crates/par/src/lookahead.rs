@@ -1,0 +1,111 @@
+//! Lookahead derivation for the conservative window protocol.
+//!
+//! A conservative parallel executor may only run ahead of a peer
+//! shard by the minimum time in which that shard could possibly
+//! influence it. On the connection path the natural bound is the
+//! smallest connection interval (anchors are the earliest moments a
+//! cross-shard frame can appear); on the advertising path it is the
+//! `T_IFS` + train-step spacing of the flooding transport. While any
+//! cross-boundary transmission is in flight neither bound holds and
+//! the executor must fall back to the hard floor: the shortest
+//! possible frame airtime, below which *no* new transmission — from
+//! any shard — can complete and become audible.
+
+use mindgap_sim::Duration;
+
+/// Timing bounds the kernel extracts from its configuration, fed to
+/// [`Lookahead::derive`].
+#[derive(Debug, Clone, Copy)]
+pub struct LinkTiming {
+    /// Smallest configured connection interval (conn transport), if
+    /// any connections exist.
+    pub min_conn_interval: Option<Duration>,
+    /// `T_IFS` + spacing between advertising train steps (adv
+    /// transport), if the advertising transport is active.
+    pub adv_train_spacing: Option<Duration>,
+    /// Shortest possible frame airtime across all frame kinds and
+    /// PHYs — the conservative global floor.
+    pub min_frame_air: Duration,
+}
+
+/// The derived window sizes the executor runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookahead {
+    /// Barrier spacing in quiet periods: the minimum cross-partition
+    /// latency of the active transports.
+    pub window: Duration,
+    /// Hard bound on how far a parallel batch may span while a
+    /// cross-boundary transmission could be in flight (always): the
+    /// minimum frame airtime.
+    pub conservative: Duration,
+}
+
+impl Lookahead {
+    /// Derive the window sizes from the kernel's timing bounds. The
+    /// window is the smallest cross-partition latency among active
+    /// transports, floored at the conservative bound (a window
+    /// shorter than one frame airtime degenerates to serial
+    /// execution); with no transport bounds at all the window *is*
+    /// the conservative bound.
+    pub fn derive(t: LinkTiming) -> Lookahead {
+        let path = match (t.min_conn_interval, t.adv_train_spacing) {
+            (Some(c), Some(a)) => Some(c.min(a)),
+            (Some(c), None) => Some(c),
+            (None, Some(a)) => Some(a),
+            (None, None) => None,
+        };
+        let window = path.unwrap_or(t.min_frame_air).max(t.min_frame_air);
+        Lookahead {
+            window,
+            conservative: t.min_frame_air,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AIR: Duration = Duration::from_micros(44);
+
+    #[test]
+    fn conn_interval_bounds_the_window() {
+        let la = Lookahead::derive(LinkTiming {
+            min_conn_interval: Some(Duration::from_millis(50)),
+            adv_train_spacing: None,
+            min_frame_air: AIR,
+        });
+        assert_eq!(la.window, Duration::from_millis(50));
+        assert_eq!(la.conservative, AIR);
+    }
+
+    #[test]
+    fn adv_spacing_wins_when_tighter() {
+        let la = Lookahead::derive(LinkTiming {
+            min_conn_interval: Some(Duration::from_millis(50)),
+            adv_train_spacing: Some(Duration::from_micros(450)),
+            min_frame_air: AIR,
+        });
+        assert_eq!(la.window, Duration::from_micros(450));
+    }
+
+    #[test]
+    fn no_transport_bounds_degenerates_to_the_floor() {
+        let la = Lookahead::derive(LinkTiming {
+            min_conn_interval: None,
+            adv_train_spacing: None,
+            min_frame_air: AIR,
+        });
+        assert_eq!(la.window, AIR);
+    }
+
+    #[test]
+    fn window_never_undercuts_the_floor() {
+        let la = Lookahead::derive(LinkTiming {
+            min_conn_interval: Some(Duration::from_micros(10)),
+            adv_train_spacing: None,
+            min_frame_air: AIR,
+        });
+        assert_eq!(la.window, AIR);
+    }
+}

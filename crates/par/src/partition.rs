@@ -1,0 +1,413 @@
+//! Topology partitioner for the parallel executor.
+//!
+//! Splits the radio adjacency graph into `k` shards by greedy
+//! multi-source BFS growth followed by a boundary-refinement pass, and
+//! labels every node with how deeply it is buried inside its shard:
+//!
+//! * **boundary** — has at least one radio neighbor in another shard;
+//!   anything it transmits can be heard across the cut.
+//! * **interior** — all neighbors in the same shard.
+//! * **enclosed** — interior, *and* every neighbor is interior too
+//!   (2-hop containment). An enclosed transmitter's listeners can only
+//!   hear in-shard interferers, so nothing about its frames depends on
+//!   another shard's state.
+//!
+//! The result is deterministic for a given `(adjacency, k, seed)`
+//! triple: seeds are spread by farthest-point BFS with lowest-index
+//! tie-breaks, growth always extends the currently smallest shard, and
+//! refinement sweeps nodes in index order.
+
+/// A `k`-way node partition of the radio graph with locality labels
+/// and cut statistics.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Number of shards (≥ 1; single shard means "effectively serial").
+    pub k: usize,
+    /// Shard index of each node.
+    pub shard_of: Vec<u16>,
+    /// Node has a radio neighbor in another shard.
+    pub boundary: Vec<bool>,
+    /// Node and all of its neighbors are interior (2-hop containment).
+    pub enclosed: Vec<bool>,
+    /// Undirected links crossing the cut.
+    pub cut_links: usize,
+    /// Undirected links inside shards.
+    pub intra_links: usize,
+}
+
+impl Partition {
+    /// Trivial single-shard partition (serial execution).
+    pub fn single(n: usize) -> Self {
+        let mut p = Partition {
+            k: 1,
+            shard_of: vec![0; n],
+            boundary: vec![false; n],
+            enclosed: vec![false; n],
+            cut_links: 0,
+            intra_links: 0,
+        };
+        p.enclosed = vec![true; n];
+        p
+    }
+
+    /// Number of nodes in each shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Fraction of undirected links crossing the cut (0 when there
+    /// are no links at all).
+    pub fn cut_fraction(&self) -> f64 {
+        let total = self.cut_links + self.intra_links;
+        if total == 0 {
+            0.0
+        } else {
+            self.cut_links as f64 / total as f64
+        }
+    }
+
+    /// Fraction of nodes that are enclosed (the population whose
+    /// transmissions are provably shard-local).
+    pub fn enclosed_fraction(&self) -> f64 {
+        if self.enclosed.is_empty() {
+            return 0.0;
+        }
+        let n = self.enclosed.iter().filter(|&&e| e).count();
+        n as f64 / self.enclosed.len() as f64
+    }
+}
+
+/// Partition `n` nodes with the given undirected adjacency lists into
+/// `k` shards. Deterministic for a given `(adj, k, seed)`.
+///
+/// `adj[i]` lists `i`'s radio neighbors; the lists need not be sorted
+/// (they are normalized internally) but must be symmetric.
+pub fn partition_topology(adj: &[Vec<u16>], k: usize, seed: u64) -> Partition {
+    let n = adj.len();
+    if k <= 1 || n == 0 {
+        return label(adj, 1, vec![0; n]);
+    }
+    let k = k.min(n);
+    let seeds = spread_seeds(adj, k, seed);
+    let mut shard_of = grow(adj, &seeds);
+    refine(adj, k, &mut shard_of);
+    label(adj, k, shard_of)
+}
+
+/// Pick `k` well-separated seed nodes: the first from the RNG seed,
+/// the rest by farthest-point BFS (max hop distance to any existing
+/// seed, lowest index on ties).
+fn spread_seeds(adj: &[Vec<u16>], k: usize, seed: u64) -> Vec<usize> {
+    let n = adj.len();
+    let mut seeds = vec![(seed as usize) % n];
+    let mut dist = vec![u32::MAX; n];
+    bfs_layer(adj, seeds[0], &mut dist);
+    while seeds.len() < k {
+        // Farthest node from the seed set; unreachable (MAX) counts
+        // as farthest so disconnected components get their own seed.
+        let mut best = usize::MAX;
+        let mut best_d = 0u32;
+        for (i, &d) in dist.iter().enumerate() {
+            if d > best_d || best == usize::MAX {
+                best = i;
+                best_d = d;
+            }
+        }
+        if dist[best] == 0 {
+            // Graph smaller than k in practice (everything already a
+            // seed at distance 0); reuse indices round-robin.
+            best = seeds.len() % n;
+        }
+        seeds.push(best);
+        bfs_layer(adj, best, &mut dist);
+    }
+    seeds
+}
+
+/// Multi-source relaxation: fold `src`'s BFS distances into `dist`
+/// (keeping the minimum per node).
+fn bfs_layer(adj: &[Vec<u16>], src: usize, dist: &mut [u32]) {
+    let mut frontier = vec![src];
+    dist[src] = 0;
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in &adj[u] {
+                let v = v as usize;
+                if dist[v] > d {
+                    dist[v] = d;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+}
+
+/// Greedy balanced BFS growth: shards claim unassigned nodes from
+/// their FIFO frontiers, always extending the currently smallest
+/// shard (lowest id on ties). Unreachable leftovers go round-robin to
+/// the smallest shards.
+fn grow(adj: &[Vec<u16>], seeds: &[usize]) -> Vec<u16> {
+    let n = adj.len();
+    let k = seeds.len();
+    const UNASSIGNED: u16 = u16::MAX;
+    let mut shard_of = vec![UNASSIGNED; n];
+    let mut frontiers: Vec<std::collections::VecDeque<usize>> =
+        seeds.iter().map(|&s| [s].into()).collect();
+    let mut sizes = vec![0usize; k];
+    let mut assigned = 0usize;
+    while assigned < n {
+        // Smallest shard with a non-empty frontier.
+        let mut pick = None;
+        for s in 0..k {
+            if frontiers[s].is_empty() {
+                continue;
+            }
+            match pick {
+                None => pick = Some(s),
+                Some(p) if sizes[s] < sizes[p] => pick = Some(s),
+                _ => {}
+            }
+        }
+        let Some(s) = pick else {
+            // Disconnected remainder: hand the lowest unassigned node
+            // to the smallest shard and keep growing from it.
+            let i = shard_of
+                .iter()
+                .position(|&x| x == UNASSIGNED)
+                .expect("assigned < n");
+            let smallest = (0..k).min_by_key(|&s| (sizes[s], s)).expect("k >= 1");
+            frontiers[smallest].push_back(i);
+            continue;
+        };
+        let Some(u) = frontiers[s].pop_front() else {
+            continue;
+        };
+        if shard_of[u] != UNASSIGNED {
+            continue;
+        }
+        shard_of[u] = s as u16;
+        sizes[s] += 1;
+        assigned += 1;
+        for &v in &adj[u] {
+            if shard_of[v as usize] == UNASSIGNED {
+                frontiers[s].push_back(v as usize);
+            }
+        }
+    }
+    shard_of
+}
+
+/// Boundary refinement: sweep nodes in index order, moving a node to
+/// a neighboring shard when that strictly reduces its cut degree and
+/// keeps shard sizes within `ceil(n/k) + 1` (and never empties a
+/// shard). First-improvement, lowest target shard id on ties; a few
+/// sweeps suffice — the pass is a polish, not a solver.
+fn refine(adj: &[Vec<u16>], k: usize, shard_of: &mut [u16]) {
+    let n = adj.len();
+    let cap = n.div_ceil(k) + 1;
+    let mut sizes = vec![0usize; k];
+    for &s in shard_of.iter() {
+        sizes[s as usize] += 1;
+    }
+    for _sweep in 0..3 {
+        let mut moved = false;
+        for u in 0..n {
+            let cur = shard_of[u] as usize;
+            if sizes[cur] <= 1 {
+                continue;
+            }
+            let mut degree = vec![0usize; k];
+            for &v in &adj[u] {
+                degree[shard_of[v as usize] as usize] += 1;
+            }
+            let mut best = cur;
+            for t in 0..k {
+                if t != cur && sizes[t] < cap && degree[t] > degree[best] {
+                    best = t;
+                }
+            }
+            if best != cur {
+                shard_of[u] = best as u16;
+                sizes[cur] -= 1;
+                sizes[best] += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// Derive boundary/interior/enclosed labels and cut statistics.
+fn label(adj: &[Vec<u16>], k: usize, shard_of: Vec<u16>) -> Partition {
+    let n = adj.len();
+    let mut boundary = vec![false; n];
+    let mut cut_links = 0usize;
+    let mut intra_links = 0usize;
+    for u in 0..n {
+        for &v in &adj[u] {
+            let v = v as usize;
+            if shard_of[u] != shard_of[v] {
+                boundary[u] = true;
+                if u < v {
+                    cut_links += 1;
+                }
+            } else if u < v {
+                intra_links += 1;
+            }
+        }
+    }
+    let interior: Vec<bool> = boundary.iter().map(|&b| !b).collect();
+    let enclosed: Vec<bool> = (0..n)
+        .map(|u| interior[u] && adj[u].iter().all(|&v| interior[v as usize]))
+        .collect();
+    Partition {
+        k,
+        shard_of,
+        boundary,
+        enclosed,
+        cut_links,
+        intra_links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Vec<Vec<u16>> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push((i - 1) as u16);
+                }
+                if i + 1 < n {
+                    v.push((i + 1) as u16);
+                }
+                v
+            })
+            .collect()
+    }
+
+    fn grid_graph(w: usize, h: usize) -> Vec<Vec<u16>> {
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                let mut v = Vec::new();
+                if x > 0 {
+                    v.push((i - 1) as u16);
+                }
+                if x + 1 < w {
+                    v.push((i + 1) as u16);
+                }
+                if y > 0 {
+                    v.push((i - w) as u16);
+                }
+                if y + 1 < h {
+                    v.push((i + w) as u16);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_for_same_inputs() {
+        let adj = grid_graph(8, 8);
+        let a = partition_topology(&adj, 4, 42);
+        let b = partition_topology(&adj, 4, 42);
+        assert_eq!(a.shard_of, b.shard_of);
+        assert_eq!(a.cut_links, b.cut_links);
+    }
+
+    #[test]
+    fn covers_all_nodes_with_nonempty_shards() {
+        let adj = grid_graph(10, 5);
+        let p = partition_topology(&adj, 4, 7);
+        assert_eq!(p.shard_of.len(), 50);
+        let sizes = p.shard_sizes();
+        assert_eq!(sizes.len(), 4);
+        assert!(sizes.iter().all(|&s| s > 0), "no empty shards: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn path_bisection_has_single_cut() {
+        let adj = path_graph(40);
+        let p = partition_topology(&adj, 2, 0);
+        assert_eq!(p.cut_links, 1, "a path splits at one link");
+        let sizes = p.shard_sizes();
+        assert!(sizes.iter().all(|&s| (15..=25).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn boundary_and_enclosed_labels_are_consistent() {
+        let adj = grid_graph(8, 8);
+        let p = partition_topology(&adj, 2, 1);
+        for (u, nbrs) in adj.iter().enumerate() {
+            let cross = nbrs.iter().any(|&v| p.shard_of[v as usize] != p.shard_of[u]);
+            assert_eq!(p.boundary[u], cross);
+            if p.enclosed[u] {
+                assert!(!p.boundary[u]);
+                for &v in nbrs {
+                    assert!(!p.boundary[v as usize], "enclosed implies 2-hop containment");
+                }
+            }
+        }
+        assert!(p.enclosed_fraction() > 0.0, "an 8x8 grid halved has a deep interior");
+    }
+
+    #[test]
+    fn disconnected_components_are_all_assigned() {
+        // Two disjoint paths.
+        let mut adj = path_graph(10);
+        let second: Vec<Vec<u16>> = path_graph(10)
+            .into_iter()
+            .map(|ns| ns.into_iter().map(|v| v + 10).collect())
+            .collect();
+        adj.extend(second);
+        let p = partition_topology(&adj, 2, 3);
+        assert_eq!(p.shard_of.len(), 20);
+        assert!(p.shard_sizes().iter().all(|&s| s > 0));
+        // The clean split puts each component in its own shard: no cut.
+        assert_eq!(p.cut_links, 0);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let adj = path_graph(3);
+        let p = partition_topology(&adj, 8, 5);
+        assert_eq!(p.k, 3);
+        assert!(p.shard_sizes().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn single_shard_is_fully_enclosed() {
+        let p = Partition::single(5);
+        assert_eq!(p.k, 1);
+        assert!(p.enclosed.iter().all(|&e| e));
+        assert_eq!(p.cut_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dense_clique_partition_is_all_boundary() {
+        // Complete graph: every split has every node on the cut.
+        let n = 12u16;
+        let adj: Vec<Vec<u16>> = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
+        let p = partition_topology(&adj, 3, 9);
+        assert!(p.boundary.iter().all(|&b| b));
+        assert_eq!(p.enclosed_fraction(), 0.0);
+    }
+}

@@ -135,12 +135,37 @@ impl GilbertElliott {
     }
 }
 
-/// Per-directed-link state: the burst chain plus the static loss
-/// override the chaos engine scripts PER ramps through.
+/// Per-directed-link state: the burst chain, the static loss override
+/// the chaos engine scripts PER ramps through, and the link's *own*
+/// RNG stream.
+///
+/// Giving every directed link a private RNG (forked purely from the
+/// model seed and the link endpoints) makes each link's verdict
+/// sequence a function of how many frames crossed *that link*, not of
+/// the global interleaving of frames across links. This is what lets
+/// the parallel executor reorder independent transmissions across
+/// partitions without perturbing any draw (DESIGN.md §13) — and it is
+/// a saner model besides: one link's traffic no longer changes
+/// another link's burst pattern.
 #[derive(Debug, Clone)]
 struct LinkState {
     chain: GilbertElliott,
     extra: f64,
+    rng: Rng,
+}
+
+impl LinkState {
+    /// Fresh state for the directed link `src → dst` of a model
+    /// seeded with `seed`. Pure function of its arguments, so lazily
+    /// created overflow state is indistinguishable from eager state.
+    fn new(cfg: LossConfig, seed: u64, src: u16, dst: u16) -> Self {
+        let tag = 0x4C1C_0000_0000_0000 ^ ((src as u64) << 16) ^ dst as u64;
+        LinkState {
+            chain: GilbertElliott::new(cfg),
+            extra: 0.0,
+            rng: Rng::seed_from_u64(seed).fork(tag),
+        }
+    }
 }
 
 /// Storage backing [`NoiseModel`]: dense per-pair for the shared-room
@@ -153,8 +178,9 @@ enum LinkStore {
     /// neighbours are `col[row_start[src]..row_start[src+1]]`, sorted,
     /// with `state` parallel to `col`. Pairs outside the link set
     /// (possible when a caller re-ranges the medium at runtime) fall
-    /// back to `overflow`, created lazily — `GilbertElliott::new`
-    /// draws no RNG, so lazy creation never perturbs the draw stream.
+    /// back to `overflow`, created lazily — [`LinkState::new`] is a
+    /// pure function of `(cfg, seed, src, dst)`, so lazy creation
+    /// never perturbs any draw stream.
     Sparse {
         row_start: Vec<u32>,
         col: Vec<u16>,
@@ -164,12 +190,16 @@ enum LinkStore {
 }
 
 /// Channel-error model for the whole medium: one Gilbert–Elliott chain
-/// per directed link plus static per-channel loss offsets.
+/// per directed link plus static per-channel loss offsets. Every
+/// directed link owns an independent RNG stream keyed on `(seed, src,
+/// dst)`, so verdicts on one link are unaffected by traffic elsewhere.
 #[derive(Debug)]
 pub struct NoiseModel {
     store: LinkStore,
     /// Template for lazily-created overflow chains.
     cfg: LossConfig,
+    /// Base seed the per-link streams fork from.
+    seed: u64,
     n_nodes: usize,
     /// Additional independent loss probability per channel
     /// (e.g. jammed BLE channel 22 → ≈ 0.97).
@@ -180,17 +210,18 @@ impl NoiseModel {
     /// A model for `n_nodes` nodes with the same link config everywhere
     /// and no channel-specific interference. Holds state for every
     /// ordered pair — O(n²) memory, fine for room-sized worlds.
-    pub fn uniform(n_nodes: usize, cfg: LossConfig) -> Self {
+    pub fn uniform(n_nodes: usize, cfg: LossConfig, seed: u64) -> Self {
         cfg.validate();
         NoiseModel {
-            store: LinkStore::Dense(vec![
-                LinkState {
-                    chain: GilbertElliott::new(cfg),
-                    extra: 0.0,
-                };
-                n_nodes * n_nodes
-            ]),
+            store: LinkStore::Dense(
+                (0..n_nodes * n_nodes)
+                    .map(|i| {
+                        LinkState::new(cfg, seed, (i / n_nodes) as u16, (i % n_nodes) as u16)
+                    })
+                    .collect(),
+            ),
             cfg,
+            seed,
             n_nodes,
             channel_extra: [0.0; CHANNEL_TABLE_SIZE],
         }
@@ -202,7 +233,7 @@ impl NoiseModel {
     /// chains, one per direction, exactly like [`NoiseModel::uniform`].
     /// Queries on pairs outside the link set still work (a state is
     /// created on first touch), so runtime re-ranging stays correct.
-    pub fn sparse(n_nodes: usize, cfg: LossConfig, links: &[(u16, u16)]) -> Self {
+    pub fn sparse(n_nodes: usize, cfg: LossConfig, links: &[(u16, u16)], seed: u64) -> Self {
         cfg.validate();
         let mut degree = vec![0u32; n_nodes];
         for &(a, b) in links {
@@ -231,13 +262,12 @@ impl NoiseModel {
         for r in 0..n_nodes {
             col[row_start[r] as usize..row_start[r + 1] as usize].sort_unstable();
         }
-        let state = vec![
-            LinkState {
-                chain: GilbertElliott::new(cfg),
-                extra: 0.0,
-            };
-            acc as usize
-        ];
+        let mut state = Vec::with_capacity(acc as usize);
+        for src in 0..n_nodes {
+            for &dst in &col[row_start[src] as usize..row_start[src + 1] as usize] {
+                state.push(LinkState::new(cfg, seed, src as u16, dst));
+            }
+        }
         NoiseModel {
             store: LinkStore::Sparse {
                 row_start,
@@ -246,6 +276,7 @@ impl NoiseModel {
                 overflow: HashMap::new(),
             },
             cfg,
+            seed,
             n_nodes,
             channel_extra: [0.0; CHANNEL_TABLE_SIZE],
         }
@@ -268,9 +299,8 @@ impl NoiseModel {
                     Ok(i) => &mut state[row_start[src] as usize + i],
                     Err(_) => overflow
                         .entry((src as u16, dst as u16))
-                        .or_insert_with(|| LinkState {
-                            chain: GilbertElliott::new(self.cfg),
-                            extra: 0.0,
+                        .or_insert_with(|| {
+                            LinkState::new(self.cfg, self.seed, src as u16, dst as u16)
                         }),
                 }
             }
@@ -322,26 +352,22 @@ impl NoiseModel {
     }
 
     /// Decide whether a frame from `src` to `dst` on `channel` is lost
-    /// to channel error (burst chain and per-channel interferer).
-    pub fn frame_lost(
-        &mut self,
-        src: usize,
-        dst: usize,
-        channel: Channel,
-        rng: &mut Rng,
-    ) -> bool {
+    /// to channel error (burst chain and per-channel interferer). All
+    /// draws come from the link's own stream, so the verdict sequence
+    /// on one link is independent of traffic on every other link.
+    pub fn frame_lost(&mut self, src: usize, dst: usize, channel: Channel) -> bool {
+        let channel_extra = self.channel_extra[channel.table_index()];
         let state = self.link_state(src, dst);
-        if state.chain.frame_lost(rng) {
+        if state.chain.frame_lost(&mut state.rng) {
             return true;
         }
         // Both overrides draw only when active, so installing none
         // keeps the RNG draw sequence identical to a run without them.
         let link = state.extra;
-        if link > 0.0 && rng.chance(link) {
+        if link > 0.0 && state.rng.chance(link) {
             return true;
         }
-        let extra = self.channel_extra[channel.table_index()];
-        extra > 0.0 && rng.chance(extra)
+        channel_extra > 0.0 && state.rng.chance(channel_extra)
     }
 
     /// Approximate heap bytes held by the per-link state.
@@ -532,14 +558,13 @@ mod tests {
 
     #[test]
     fn jammed_channel_dominates() {
-        let mut nm = NoiseModel::uniform(2, LossConfig::LOSSLESS);
+        let mut nm = NoiseModel::uniform(2, LossConfig::LOSSLESS, 4);
         nm.set_channel_extra(Channel::ble_data(22), 0.97);
-        let mut rng = Rng::seed_from_u64(4);
         let jam_lost = (0..10_000)
-            .filter(|_| nm.frame_lost(0, 1, Channel::ble_data(22), &mut rng))
+            .filter(|_| nm.frame_lost(0, 1, Channel::ble_data(22)))
             .count();
         let clean_lost = (0..10_000)
-            .filter(|_| nm.frame_lost(0, 1, Channel::ble_data(21), &mut rng))
+            .filter(|_| nm.frame_lost(0, 1, Channel::ble_data(21)))
             .count();
         assert!(jam_lost > 9_500, "jammed channel only lost {jam_lost}");
         assert_eq!(clean_lost, 0);
@@ -547,48 +572,85 @@ mod tests {
 
     #[test]
     fn link_extra_overrides_one_direction() {
-        let mut nm = NoiseModel::uniform(2, LossConfig::LOSSLESS);
+        let mut nm = NoiseModel::uniform(2, LossConfig::LOSSLESS, 6);
         nm.set_link_extra(0, 1, 1.0);
-        let mut rng = Rng::seed_from_u64(6);
-        assert!((0..100).all(|_| nm.frame_lost(0, 1, Channel::ble_data(5), &mut rng)));
-        assert!((0..100).all(|_| !nm.frame_lost(1, 0, Channel::ble_data(5), &mut rng)));
+        assert!((0..100).all(|_| nm.frame_lost(0, 1, Channel::ble_data(5))));
+        assert!((0..100).all(|_| !nm.frame_lost(1, 0, Channel::ble_data(5))));
         assert_eq!(nm.link_extra(0, 1), 1.0);
         nm.set_link_extra(0, 1, 0.0);
-        assert!((0..100).all(|_| !nm.frame_lost(0, 1, Channel::ble_data(5), &mut rng)));
+        assert!((0..100).all(|_| !nm.frame_lost(0, 1, Channel::ble_data(5))));
     }
 
     #[test]
     fn sparse_matches_uniform_draw_sequence_on_listed_links() {
         // On links that exist in the sparse store, the chains and the
-        // RNG draw sequence must be indistinguishable from the dense
-        // model's: same verdicts from the same RNG stream.
+        // per-link RNG streams must be indistinguishable from the
+        // dense model's: same seed → same verdict sequences.
         let cfg = LossConfig::ble_default();
-        let mut dense = NoiseModel::uniform(4, cfg);
-        let mut sp = NoiseModel::sparse(4, cfg, &[(0, 1), (2, 3), (1, 2)]);
-        let mut r1 = Rng::seed_from_u64(11);
-        let mut r2 = Rng::seed_from_u64(11);
+        let mut dense = NoiseModel::uniform(4, cfg, 11);
+        let mut sp = NoiseModel::sparse(4, cfg, &[(0, 1), (2, 3), (1, 2)], 11);
         for i in 0..5_000usize {
             let (s, d) = [(0usize, 1usize), (1, 0), (2, 3), (1, 2)][i % 4];
             let ch = Channel::ble_data((i % 37) as u8);
             assert_eq!(
-                dense.frame_lost(s, d, ch, &mut r1),
-                sp.frame_lost(s, d, ch, &mut r2),
+                dense.frame_lost(s, d, ch),
+                sp.frame_lost(s, d, ch),
                 "divergence at frame {i}"
             );
         }
     }
 
     #[test]
+    fn draw_sequence_is_per_link_not_global() {
+        // The hazard the parallel executor would otherwise hit: the
+        // verdict sequence on one link must not depend on how frames
+        // on *other* links interleave with it. Run link (0,1) alone,
+        // then again with heavy unrelated traffic interspersed — the
+        // (0,1) verdicts must match draw for draw.
+        let cfg = LossConfig::ble_default();
+        let mut alone = NoiseModel::uniform(4, cfg, 42);
+        let solo: Vec<bool> = (0..3_000)
+            .map(|i| alone.frame_lost(0, 1, Channel::ble_data((i % 37) as u8)))
+            .collect();
+        let mut busy = NoiseModel::uniform(4, cfg, 42);
+        let mut interleaved = Vec::new();
+        for i in 0..3_000usize {
+            // Unrelated traffic before every probe, in a pattern that
+            // varies per step (this is what event reordering does).
+            for _ in 0..(i % 5) {
+                busy.frame_lost(2, 3, Channel::ble_data(9));
+                busy.frame_lost(1, 0, Channel::ble_data(9));
+                busy.frame_lost(3, 2, Channel::ble_data(20));
+            }
+            interleaved.push(busy.frame_lost(0, 1, Channel::ble_data((i % 37) as u8)));
+        }
+        assert_eq!(solo, interleaved, "link (0,1) stream was perturbed");
+    }
+
+    #[test]
     fn sparse_unlisted_pairs_work_via_overflow() {
-        let mut sp = NoiseModel::sparse(3, LossConfig::LOSSLESS, &[(0, 1)]);
-        let mut rng = Rng::seed_from_u64(12);
+        let mut sp = NoiseModel::sparse(3, LossConfig::LOSSLESS, &[(0, 1)], 12);
         assert_eq!(sp.link_extra(0, 2), 0.0);
-        assert!(!sp.frame_lost(0, 2, Channel::ble_data(5), &mut rng));
+        assert!(!sp.frame_lost(0, 2, Channel::ble_data(5)));
         sp.set_link_extra(0, 2, 1.0);
-        assert!((0..50).all(|_| sp.frame_lost(0, 2, Channel::ble_data(5), &mut rng)));
+        assert!((0..50).all(|_| sp.frame_lost(0, 2, Channel::ble_data(5))));
         assert_eq!(sp.link_extra(0, 2), 1.0);
         // Listed links are unaffected by the overflow entry.
-        assert!(!sp.frame_lost(0, 1, Channel::ble_data(5), &mut rng));
+        assert!(!sp.frame_lost(0, 1, Channel::ble_data(5)));
+    }
+
+    #[test]
+    fn overflow_state_matches_eager_state() {
+        // A pair reached via sparse overflow must produce the exact
+        // verdict stream a dense (eagerly-built) model gives it:
+        // LinkState::new is pure in (cfg, seed, src, dst).
+        let cfg = LossConfig::ble_default();
+        let mut sp = NoiseModel::sparse(3, cfg, &[(0, 1)], 77);
+        let mut dn = NoiseModel::uniform(3, cfg, 77);
+        for i in 0..2_000usize {
+            let ch = Channel::ble_data((i % 37) as u8);
+            assert_eq!(sp.frame_lost(0, 2, ch), dn.frame_lost(0, 2, ch));
+        }
     }
 
     #[test]
@@ -597,9 +659,9 @@ mod tests {
         // dense model would hold 10⁶ (≈ 48 MB).
         let n = 1000;
         let links: Vec<(u16, u16)> = (0..n as u16 - 1).map(|i| (i, i + 1)).collect();
-        let sp = NoiseModel::sparse(n, LossConfig::ble_default(), &links);
+        let sp = NoiseModel::sparse(n, LossConfig::ble_default(), &links, 1);
         let bytes = sp.approx_mem_bytes();
-        assert!(bytes < 200 * 1024, "sparse noise holds {bytes} bytes");
+        assert!(bytes < 300 * 1024, "sparse noise holds {bytes} bytes");
     }
 
     #[test]
@@ -612,12 +674,11 @@ mod tests {
             p_good_to_bad: 1.0,
             p_bad_to_good: 0.0,
         };
-        let mut nm = NoiseModel::uniform(2, cfg);
-        let mut rng = Rng::seed_from_u64(5);
-        assert!(nm.frame_lost(0, 1, Channel::ble_data(0), &mut rng));
+        let mut nm = NoiseModel::uniform(2, cfg, 5);
+        assert!(nm.frame_lost(0, 1, Channel::ble_data(0)));
         // Reconfigure the reverse link's chain to lossless by rebuilding:
-        let mut nm2 = NoiseModel::uniform(2, LossConfig::LOSSLESS);
-        assert!(!nm2.frame_lost(1, 0, Channel::ble_data(0), &mut rng));
+        let mut nm2 = NoiseModel::uniform(2, LossConfig::LOSSLESS, 5);
+        assert!(!nm2.frame_lost(1, 0, Channel::ble_data(0)));
     }
 
     #[test]

@@ -38,7 +38,9 @@
 
 use crate::channel::{Channel, CHANNEL_TABLE_SIZE};
 use crate::loss::{LossConfig, NoiseModel};
-use mindgap_sim::{Duration, Instant, NodeId, Rng};
+use mindgap_sim::{Duration, Instant, NodeId};
+#[cfg(test)]
+use mindgap_sim::Rng;
 
 /// Handle to an in-flight transmission.
 ///
@@ -185,7 +187,6 @@ pub struct Medium {
     by_channel: Vec<Vec<u32>>,
     live: usize,
     noise: NoiseModel,
-    rng: Rng,
     range: RangeMatrix,
     collisions_observed: u64,
 }
@@ -197,7 +198,7 @@ impl Medium {
         let (range, noise) = match &cfg.radio_links {
             None => (
                 RangeMatrix::filled(n, true),
-                NoiseModel::uniform(n, cfg.loss),
+                NoiseModel::uniform(n, cfg.loss, cfg.seed),
             ),
             Some(links) => {
                 let mut m = RangeMatrix::filled(n, false);
@@ -205,7 +206,7 @@ impl Medium {
                     m.set(a as usize, b as usize, true);
                     m.set(b as usize, a as usize, true);
                 }
-                (m, NoiseModel::sparse(n, cfg.loss, links))
+                (m, NoiseModel::sparse(n, cfg.loss, links, cfg.seed))
             }
         };
         Medium {
@@ -214,7 +215,6 @@ impl Medium {
             by_channel: vec![Vec::new(); CHANNEL_TABLE_SIZE],
             live: 0,
             noise,
-            rng: Rng::seed_from_u64(cfg.seed),
             range,
             collisions_observed: 0,
         }
@@ -388,10 +388,7 @@ impl Medium {
         {
             return RxOutcome::Collision;
         }
-        if self
-            .noise
-            .frame_lost(src.index(), listener.index(), channel, &mut self.rng)
-        {
+        if self.noise.frame_lost(src.index(), listener.index(), channel) {
             return RxOutcome::ChannelError;
         }
         RxOutcome::Ok
@@ -613,7 +610,6 @@ mod tests {
         in_range: Vec<bool>,
         n: usize,
         noise: NoiseModel,
-        rng: Rng,
     }
 
     impl DenseRef {
@@ -628,8 +624,7 @@ mod tests {
                 next_id: 0,
                 in_range,
                 n,
-                noise: NoiseModel::uniform(n, loss),
-                rng: Rng::seed_from_u64(seed),
+                noise: NoiseModel::uniform(n, loss, seed),
             }
         }
 
@@ -663,10 +658,7 @@ mod tests {
                         RxOutcome::OutOfRange
                     } else if interferers.iter().any(|&i| i == l || self.hears(i, l)) {
                         RxOutcome::Collision
-                    } else if self
-                        .noise
-                        .frame_lost(src.index(), l.index(), ch, &mut self.rng)
-                    {
+                    } else if self.noise.frame_lost(src.index(), l.index(), ch) {
                         RxOutcome::ChannelError
                     } else {
                         RxOutcome::Ok

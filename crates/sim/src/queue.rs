@@ -1,9 +1,19 @@
 //! The event queue at the heart of the discrete-event simulation.
 //!
-//! [`EventQueue`] is a min-heap ordered by firing time with a
-//! monotonically increasing sequence number as tie-breaker, so events
-//! scheduled for the same instant fire in insertion order. This
-//! stability is part of the kernel's determinism contract.
+//! [`EventQueue`] is a min-heap ordered by `(time, key, seq)`: firing
+//! time first, then a caller-supplied *canonical key*, then a
+//! monotonically increasing sequence number. Events scheduled through
+//! the plain [`schedule_at`]/[`schedule_in`] APIs carry key 0, so for
+//! them the order degenerates to the classic "same instant fires in
+//! insertion order" contract. Keyed scheduling
+//! ([`schedule_at_keyed`]) lets the kernel impose a *content-derived*
+//! tie order (e.g. home-node id) that is identical no matter which
+//! execution path inserted the events — the foundation of the
+//! parallel executor's byte-identity guarantee (DESIGN.md §13).
+//!
+//! [`schedule_at`]: EventQueue::schedule_at
+//! [`schedule_in`]: EventQueue::schedule_in
+//! [`schedule_at_keyed`]: EventQueue::schedule_at_keyed
 //!
 //! Scheduled events can be cancelled by token. Liveness is tracked
 //! with a generation-stamped slot table instead of a hash set: every
@@ -39,8 +49,11 @@ pub struct ScheduledEvent {
 struct Entry {
     /// Firing time in nanoseconds (primary key).
     at: u64,
-    /// Tie-breaking sequence number — unique, so `(at, seq)` is a
-    /// *total* order: any correct min-heap pops the exact same
+    /// Caller-supplied canonical tie key (secondary). 0 for events
+    /// scheduled through the unkeyed APIs.
+    key: u32,
+    /// Tie-breaking sequence number — unique, so `(at, key, seq)` is
+    /// a *total* order: any correct min-heap pops the exact same
     /// sequence, and the heap's internal layout is free to change
     /// without touching determinism.
     seq: u64,
@@ -50,8 +63,8 @@ struct Entry {
 
 impl Entry {
     #[inline]
-    fn key(&self) -> (u64, u64) {
-        (self.at, self.seq)
+    fn key(&self) -> (u64, u32, u64) {
+        (self.at, self.key, self.seq)
     }
 }
 
@@ -124,6 +137,14 @@ impl<E> EventQueue<E> {
     /// builds and is clamped to `now` in release builds so a long
     /// experiment degrades instead of aborting.
     pub fn schedule_at(&mut self, at: Instant, payload: E) -> ScheduledEvent {
+        self.schedule_at_keyed(at, 0, payload)
+    }
+
+    /// Schedule `payload` at absolute time `at` with a canonical tie
+    /// key. Among same-instant events, lower keys fire first; equal
+    /// keys fall back to insertion order. Unkeyed events carry key 0
+    /// and therefore fire before any keyed event at the same instant.
+    pub fn schedule_at_keyed(&mut self, at: Instant, key: u32, payload: E) -> ScheduledEvent {
         debug_assert!(at >= self.now, "scheduling in the past: {at} < {}", self.now);
         let at = at.max(self.now);
         let seq = self.next_seq;
@@ -140,6 +161,7 @@ impl<E> EventQueue<E> {
         self.payloads[slot as usize] = Some(payload);
         self.heap_push(Entry {
             at: at.nanos(),
+            key,
             seq,
             slot,
             gen,
@@ -149,7 +171,15 @@ impl<E> EventQueue<E> {
 
     /// Schedule `payload` after global span `delay`.
     pub fn schedule_in(&mut self, delay: Duration, payload: E) -> ScheduledEvent {
-        self.schedule_at(self.now + delay, payload)
+        self.schedule_at_keyed(self.now + delay, 0, payload)
+    }
+
+    /// Schedule `payload` after global span `delay` with a canonical
+    /// tie key (see [`schedule_at_keyed`]).
+    ///
+    /// [`schedule_at_keyed`]: EventQueue::schedule_at_keyed
+    pub fn schedule_in_keyed(&mut self, delay: Duration, key: u32, payload: E) -> ScheduledEvent {
+        self.schedule_at_keyed(self.now + delay, key, payload)
     }
 
     /// Cancel a previously scheduled event. Cancelling an event that
@@ -285,6 +315,99 @@ impl<E> EventQueue<E> {
         self.heap.first().map(|e| Instant::from_nanos(e.at))
     }
 
+    /// Timestamp *and canonical key* of the next live event without
+    /// popping it. The parallel executor uses this to size safe
+    /// windows without disturbing the queue.
+    #[inline]
+    pub fn next_event_at(&self) -> Option<(Instant, u32)> {
+        self.heap.first().map(|e| (Instant::from_nanos(e.at), e.key))
+    }
+
+    /// Full ordering coordinates *and payload* of the next live event
+    /// without popping it: `(time, key, seq, &payload)`. The parallel
+    /// executor classifies the head with this before deciding whether
+    /// to pull it into a batch.
+    #[inline]
+    pub fn peek_entry(&self) -> Option<(Instant, u32, u64, &E)> {
+        // The head is live by invariant (see `purge_dead_head`), so
+        // its payload slot is occupied.
+        self.heap.first().map(|e| {
+            let payload = self.payloads[e.slot as usize]
+                .as_ref()
+                .expect("live head has a payload");
+            (Instant::from_nanos(e.at), e.key, e.seq, payload)
+        })
+    }
+
+    /// Pop the next live event *without advancing `now`*, returning
+    /// its full ordering coordinates `(time, key, seq, payload)`. The
+    /// parallel executor pre-pops a batch with this and advances the
+    /// clock per event (via [`advance_now`]) while replaying the
+    /// batch's applications in canonical order — `now` must track the
+    /// event being applied, not the last one popped.
+    ///
+    /// [`advance_now`]: EventQueue::advance_now
+    pub fn pop_detached(&mut self) -> Option<(Instant, u32, u64, E)> {
+        loop {
+            let entry = self.heap_pop()?;
+            if !self.is_live(&entry) {
+                self.stale -= 1;
+                continue;
+            }
+            let payload = self.payloads[entry.slot as usize]
+                .take()
+                .expect("live entry has a payload");
+            self.retire_slot(entry.slot);
+            self.purge_dead_head();
+            let at = Instant::from_nanos(entry.at);
+            debug_assert!(at >= self.now, "time went backwards");
+            return Some((at, entry.key, entry.seq, payload));
+        }
+    }
+
+    /// Pop the next live event only if it fires strictly before
+    /// `horizon`; otherwise leave the queue untouched and return
+    /// `None`. Advances `now` exactly like [`pop`] when it yields.
+    ///
+    /// [`pop`]: EventQueue::pop
+    pub fn pop_before(&mut self, horizon: Instant) -> Option<(Instant, u32, E)> {
+        let head = self.heap.first()?;
+        if Instant::from_nanos(head.at) >= horizon {
+            return None;
+        }
+        let key = head.key;
+        // Head is live by invariant, so this pop yields it.
+        let (at, payload) = self.pop().expect("live head below horizon");
+        Some((at, key, payload))
+    }
+
+    /// Drain every live event firing strictly before `horizon` into
+    /// `out` as `(time, key, payload)` triples, in full `(time, key,
+    /// seq)` order. Advances `now` to the last drained event's
+    /// timestamp (or leaves it untouched when nothing drains) and
+    /// returns the number of events drained. Bounded: touches only
+    /// the entries it yields plus any dead heads in the way — the
+    /// rest of the heap is left intact, and cancel stays O(1).
+    pub fn drain_until(&mut self, horizon: Instant, out: &mut Vec<(Instant, u32, E)>) -> usize {
+        let before = out.len();
+        while let Some(item) = self.pop_before(horizon) {
+            out.push(item);
+        }
+        out.len() - before
+    }
+
+    /// Force the clock to `at` without popping anything. The parallel
+    /// executor uses this to restore `now` after replaying a window's
+    /// events through shard-local queues. Must not move time
+    /// backwards or past the next pending event.
+    pub fn advance_now(&mut self, at: Instant) {
+        debug_assert!(at >= self.now, "advance_now would move time backwards");
+        if let Some(head) = self.peek_time() {
+            debug_assert!(at <= head, "advance_now would skip pending events");
+        }
+        self.now = self.now.max(at);
+    }
+
     /// Number of entries in the heap, *including* dead ones awaiting
     /// removal or compaction.
     pub fn raw_len(&self) -> usize {
@@ -415,6 +538,235 @@ mod tests {
         assert!(!q.token_is_live(a));
         assert!(q.pop().is_some());
         assert!(!q.token_is_live(b), "fired token must read as dead");
+    }
+
+    #[test]
+    fn keyed_ties_fire_in_key_order_then_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(5);
+        // Insert in scrambled key order, with two entries per key.
+        for (key, tag) in [(3u32, "c0"), (1, "a0"), (2, "b0"), (1, "a1"), (3, "c1"), (2, "b1")] {
+            q.schedule_at_keyed(t, key, tag);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a0", "a1", "b0", "b1", "c0", "c1"]);
+    }
+
+    #[test]
+    fn unkeyed_events_precede_keyed_at_same_instant() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(1);
+        q.schedule_at_keyed(t, 7, "keyed");
+        q.schedule_at(t, "unkeyed");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("unkeyed"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("keyed"));
+    }
+
+    #[test]
+    fn keyed_order_is_insertion_invariant() {
+        // The canonical point: two different insertion interleavings
+        // of the same (time, key) multiset pop identically (per key,
+        // relative insertion order preserved).
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        let t = Instant::from_millis(9);
+        for (k, v) in [(2u32, 20), (1, 10), (3, 30)] {
+            a.schedule_at_keyed(t, k, v);
+        }
+        for (k, v) in [(3u32, 30), (2, 20), (1, 10)] {
+            b.schedule_at_keyed(t, k, v);
+        }
+        let pa: Vec<_> = std::iter::from_fn(|| a.pop()).map(|(_, e)| e).collect();
+        let pb: Vec<_> = std::iter::from_fn(|| b.pop()).map(|(_, e)| e).collect();
+        assert_eq!(pa, pb);
+        assert_eq!(pa, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn next_event_at_reports_head_time_and_key() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_event_at(), None);
+        q.schedule_at_keyed(Instant::from_millis(4), 11, "later");
+        let tok = q.schedule_at_keyed(Instant::from_millis(2), 5, "head");
+        assert_eq!(q.next_event_at(), Some((Instant::from_millis(2), 5)));
+        q.cancel(tok);
+        // Dead head purged: the report must reflect the live head.
+        assert_eq!(q.next_event_at(), Some((Instant::from_millis(4), 11)));
+    }
+
+    #[test]
+    fn peek_entry_exposes_coordinates_and_payload() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_entry().is_none());
+        q.schedule_at_keyed(Instant::from_millis(8), 3, "later");
+        let tok = q.schedule_at_keyed(Instant::from_millis(2), 7, "head");
+        let (at, key, _, payload) = q.peek_entry().unwrap();
+        assert_eq!((at, key, *payload), (Instant::from_millis(2), 7, "head"));
+        q.cancel(tok);
+        // Dead head purged: the peek must reflect the live head.
+        let (at, key, _, payload) = q.peek_entry().unwrap();
+        assert_eq!((at, key, *payload), (Instant::from_millis(8), 3, "later"));
+        // Peeking never advances time or disturbs the queue.
+        assert_eq!(q.now(), Instant::ZERO);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("later"));
+    }
+
+    #[test]
+    fn pop_detached_leaves_now_for_caller_to_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at_keyed(Instant::from_millis(5), 2, "b");
+        q.schedule_at_keyed(Instant::from_millis(5), 1, "a");
+        let (at, key, seq_a, e) = q.pop_detached().unwrap();
+        assert_eq!((at, key, e), (Instant::from_millis(5), 1, "a"));
+        assert_eq!(q.now(), Instant::ZERO, "pop_detached must not move the clock");
+        let (at_b, key_b, seq_b, e) = q.pop_detached().unwrap();
+        assert_eq!(e, "b");
+        // (time, key, seq) tuples expose the total order for splice
+        // compares — pop order, not insertion order.
+        assert!((at, key, seq_a) < (at_b, key_b, seq_b));
+        // The caller replays the clock explicitly.
+        q.advance_now(Instant::from_millis(5));
+        assert_eq!(q.now(), Instant::from_millis(5));
+    }
+
+    #[test]
+    fn pop_detached_skips_cancelled_entries() {
+        let mut q = EventQueue::new();
+        let dead = q.schedule_at(Instant::from_millis(1), "dead");
+        q.schedule_at(Instant::from_millis(2), "alive");
+        q.cancel(dead);
+        assert_eq!(q.pop_detached().map(|(_, _, _, e)| e), Some("alive"));
+        assert!(q.pop_detached().is_none());
+    }
+
+    #[test]
+    fn pop_before_respects_exclusive_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_millis(10), "at");
+        q.schedule_at(Instant::from_millis(5), "in");
+        assert_eq!(
+            q.pop_before(Instant::from_millis(10)).map(|(_, _, e)| e),
+            Some("in")
+        );
+        // Exactly-at-horizon stays queued.
+        assert_eq!(q.pop_before(Instant::from_millis(10)), None);
+        assert_eq!(q.peek_time(), Some(Instant::from_millis(10)));
+    }
+
+    #[test]
+    fn drain_until_yields_window_in_canonical_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at_keyed(Instant::from_millis(3), 2, "t3k2");
+        q.schedule_at_keyed(Instant::from_millis(1), 9, "t1k9");
+        q.schedule_at_keyed(Instant::from_millis(3), 1, "t3k1");
+        q.schedule_at_keyed(Instant::from_millis(7), 0, "t7");
+        let mut out = Vec::new();
+        let n = q.drain_until(Instant::from_millis(7), &mut out);
+        assert_eq!(n, 3);
+        let tags: Vec<_> = out.iter().map(|(_, _, e)| *e).collect();
+        assert_eq!(tags, vec!["t1k9", "t3k1", "t3k2"]);
+        assert_eq!(out[0].1, 9, "key rides along with the payload");
+        assert_eq!(q.now(), Instant::from_millis(3));
+        // The horizon event is untouched.
+        assert_eq!(q.pop().map(|(_, e)| e), Some("t7"));
+    }
+
+    #[test]
+    fn drain_until_empty_window_leaves_now_untouched() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_millis(50), ());
+        let mut out = Vec::new();
+        assert_eq!(q.drain_until(Instant::from_millis(10), &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(q.now(), Instant::ZERO);
+    }
+
+    #[test]
+    fn advance_now_moves_clock_without_popping() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_millis(20), "later");
+        q.advance_now(Instant::from_millis(15));
+        assert_eq!(q.now(), Instant::from_millis(15));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(Instant::from_millis(20)));
+    }
+
+    #[test]
+    fn generation_reuse_stress_under_windowed_draining() {
+        // Deterministic schedule/cancel/drain churn: thousands of
+        // slot reuses interleaved with window drains must never let a
+        // stale token cancel a reused slot or lose/duplicate events.
+        let mut q = EventQueue::new();
+        let mut next_id: u64 = 0;
+        let mut live: Vec<(u64, ScheduledEvent)> = Vec::new();
+        let mut stale: Vec<ScheduledEvent> = Vec::new();
+        let mut expected: Vec<u64> = Vec::new();
+        let mut popped: Vec<u64> = Vec::new();
+        let mut t = 0u64;
+        // xorshift for a deterministic but scrambled action stream.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for round in 0..2000u64 {
+            match rand() % 4 {
+                // Schedule 1-3 events a short way out.
+                0 | 1 => {
+                    for _ in 0..=(rand() % 3) {
+                        let id = next_id;
+                        next_id += 1;
+                        let at = Instant::from_nanos(t + 1 + rand() % 1000);
+                        let key = (rand() % 8) as u32;
+                        let tok = q.schedule_at_keyed(at, key, id);
+                        live.push((id, tok));
+                    }
+                }
+                // Cancel a live event; also fire a stale token.
+                2 => {
+                    if !live.is_empty() {
+                        let i = (rand() as usize) % live.len();
+                        let (_, tok) = live.swap_remove(i);
+                        q.cancel(tok);
+                        stale.push(tok);
+                    }
+                    if let Some(s) = stale.get(round as usize % stale.len().max(1)) {
+                        q.cancel(*s); // stale: must be a no-op
+                    }
+                }
+                // Drain a window.
+                _ => {
+                    let horizon = Instant::from_nanos(t + 200 + rand() % 600);
+                    let mut out = Vec::new();
+                    q.drain_until(horizon, &mut out);
+                    for (_, _, id) in &out {
+                        popped.push(*id);
+                        let i = live
+                            .iter()
+                            .position(|(l, _)| l == id)
+                            .expect("drained event was live");
+                        let (_, tok) = live.swap_remove(i);
+                        assert!(!q.token_is_live(tok), "drained token must be dead");
+                        stale.push(tok);
+                    }
+                    t = q.now().nanos().max(t);
+                }
+            }
+        }
+        // Flush the remainder and check the full pop set.
+        while let Some((_, id)) = q.pop() {
+            popped.push(id);
+            let i = live.iter().position(|(l, _)| *l == id).expect("was live");
+            live.swap_remove(i);
+        }
+        assert!(live.is_empty(), "every live event must eventually pop");
+        expected.extend(0..next_id);
+        popped.sort_unstable();
+        let cancelled = expected.len() - popped.len();
+        assert!(cancelled > 0, "stress must exercise cancellation");
+        // No duplicates: sorted pops are strictly increasing.
+        assert!(popped.windows(2).all(|w| w[0] < w[1]), "no event pops twice");
     }
 
     #[test]

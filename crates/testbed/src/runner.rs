@@ -84,6 +84,9 @@ pub struct ExperimentSpec {
     /// the world cold and lets discovery + policy form the connection
     /// graph; `None` keeps statconn's static edges.
     pub peers: Option<PeersSpec>,
+    /// Parallel-executor worker threads (BLE only; `<= 1` = serial).
+    /// Artifacts are byte-identical at any value (DESIGN.md §13).
+    pub par: usize,
 }
 
 impl ExperimentSpec {
@@ -108,6 +111,7 @@ impl ExperimentSpec {
             link_per: Vec::new(),
             payload: mindgap_core::COAP_PAYLOAD,
             peers: None,
+            par: 1,
         }
     }
 
@@ -148,6 +152,13 @@ impl ExperimentSpec {
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Run on the conservative parallel executor with `par` worker
+    /// threads (`<= 1` keeps the serial loop; BLE only).
+    pub fn with_par(mut self, par: usize) -> Self {
+        self.par = par;
         self
     }
 
@@ -259,6 +270,10 @@ pub struct ExperimentResult {
     pub convergence_s: Option<f64>,
     /// Label for tables ("tree static 75ms" …).
     pub label: String,
+    /// Parallel-executor counters when the run used `par > 1`
+    /// (`None` for serial and IEEE runs). Diagnostic only — never
+    /// serialized into artifacts, so it cannot perturb byte-identity.
+    pub par_stats: Option<mindgap_par::ParStats>,
 }
 
 /// Run a BLE experiment.
@@ -338,6 +353,9 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     }
     let peers_mode = spec.peers.is_some();
     let mut world = World::new(cfg, node_cfgs, app);
+    if spec.par > 1 {
+        world.set_parallel(spec.par);
+    }
     if let Some(m) = &spec.mesh {
         if !peers_mode {
             // Distance-induced PER from the log-distance model, on top
@@ -408,6 +426,7 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
     let trace_dropped = world.trace.dropped();
     warn_trace_dropped(&label, trace_dropped);
     let events_processed = world.events_processed();
+    let par_stats = world.par_stats();
     let metrics = world.obs_snapshot();
     let timeline = std::mem::take(&mut world.obs.timeline);
     let recovery = mindgap_chaos::recovery::analyze(&timeline);
@@ -426,6 +445,7 @@ pub fn run_ble(spec: &ExperimentSpec) -> ExperimentResult {
         convergence_s,
         label,
         records,
+        par_stats,
     }
 }
 
@@ -485,6 +505,7 @@ pub fn run_ieee(spec: &ExperimentSpec) -> ExperimentResult {
         convergence_s: None,
         label,
         records,
+        par_stats: None,
     }
 }
 

@@ -314,6 +314,136 @@ fn named_artifact_bytes(root: &Path, name: &str) -> BTreeMap<String, Vec<u8>> {
     out
 }
 
+/// The parallel-executor contract at the campaign level: running the
+/// fig07/fig15-shaped cells, an advertising-transport cell, and a
+/// chaos cell (crash landing mid-window) on the conservative parallel
+/// executor at `--par 2` and `--par 4` must yield artifacts that are
+/// byte-for-byte the serial (`--par 1`) artifacts. This is the
+/// user-facing face of DESIGN.md §13's identity argument — the CSVs a
+/// figure is drawn from cannot depend on the thread count.
+#[test]
+fn par_artifacts_identical_across_thread_counts() {
+    use mindgap::chaos::FaultSchedule;
+    let ms = Duration::from_millis;
+    let grid = || {
+        GridBuilder::new("par-det", 42)
+            .axis(
+                "case",
+                ["tree-75", "line-75", "tree-40-60", "adv-75", "chaos-crash"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            )
+            .explicit_seeds(&[42])
+            .build()
+    };
+    let body = |job: &mindgap_campaign::Job, par: usize| {
+        let (topo, policy) = match job.params["case"].as_str() {
+            "line-75" => (Topology::paper_line(), IntervalPolicy::Static(ms(75))),
+            "tree-40-60" => (
+                Topology::paper_tree(),
+                IntervalPolicy::Randomized { lo: ms(40), hi: ms(60) },
+            ),
+            _ => (Topology::paper_tree(), IntervalPolicy::Static(ms(75))),
+        };
+        let mut spec = ExperimentSpec::paper_default(topo, policy, job.seed)
+            .with_duration(Duration::from_secs(70))
+            .with_par(par);
+        match job.params["case"].as_str() {
+            "adv-75" => spec = spec.with_adv_transport(),
+            "chaos-crash" => {
+                // Crash a relay mid-run: teardown + supervision flow
+                // through the conservative serial fallback while the
+                // rest of the mesh keeps batching.
+                spec = spec.with_faults(
+                    FaultSchedule::new().node_crash(Duration::from_secs(40), 1, Duration::from_secs(5)),
+                );
+            }
+            _ => {}
+        }
+        to_job_result(&run_ble(&spec), &[])
+    };
+    let root1 = scratch("par-w1");
+    let report1 = mindgap_campaign::run(&grid(), &quiet(root1.clone(), 1), |j| body(j, 1));
+    assert!(report1.failures().is_empty(), "{:?}", report1.failures());
+    let serial = named_artifact_bytes(&root1, "par-det");
+    assert_eq!(serial.len(), 5);
+    for par in [2usize, 4] {
+        let root = scratch(&format!("par-w{par}"));
+        let report = mindgap_campaign::run(&grid(), &quiet(root.clone(), 2), |j| body(j, par));
+        assert!(report.failures().is_empty(), "{:?}", report.failures());
+        assert_eq!(
+            serial,
+            named_artifact_bytes(&root, "par-det"),
+            "artifacts must be byte-identical at --par {par}"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+    let _ = fs::remove_dir_all(&root1);
+}
+
+/// Peers-mode churn on the parallel executor: cold start, discovery,
+/// mobility, and a scripted crash burst — the widest determinism
+/// surface — must also be thread-count independent.
+#[test]
+fn par_churn_artifacts_identical_across_thread_counts() {
+    use mindgap::chaos::FaultSchedule;
+    use mindgap::core::MobilityModel;
+    use mindgap_testbed::MeshTopology;
+    let grid = || {
+        GridBuilder::new("par-churn", 42)
+            .axis("mobility", ["static", "walk"].iter().map(|s| s.to_string()))
+            .explicit_seeds(&[42])
+            .build()
+    };
+    let body = |job: &mindgap_campaign::Job, par: usize| {
+        let mesh = MeshTopology::random_geometric(20, 160.0, job.seed);
+        let faults = FaultSchedule::new().churn(
+            job.seed,
+            &(1..20u16).collect::<Vec<_>>(),
+            Duration::from_secs(70),
+            Duration::from_secs(30),
+            2,
+            Duration::from_secs(8),
+        );
+        let mut spec = ExperimentSpec::mesh_default(
+            mesh,
+            IntervalPolicy::Randomized {
+                lo: Duration::from_millis(50),
+                hi: Duration::from_millis(200),
+            },
+            job.seed,
+        )
+        .with_producer_interval(Duration::from_secs(10))
+        .with_duration(Duration::from_secs(60))
+        .with_faults(faults)
+        .with_par(par);
+        spec.warmup = Duration::from_secs(60);
+        spec = if job.params["mobility"] == "walk" {
+            spec.with_peers_mobility(MobilityModel::walk_default())
+        } else {
+            spec.with_peers()
+        };
+        to_job_result(&run_ble(&spec), &[])
+    };
+    let root1 = scratch("par-churn-w1");
+    let report1 = mindgap_campaign::run(&grid(), &quiet(root1.clone(), 1), |j| body(j, 1));
+    assert!(report1.failures().is_empty(), "{:?}", report1.failures());
+    let serial = named_artifact_bytes(&root1, "par-churn");
+    assert_eq!(serial.len(), 2);
+    for par in [2usize, 4] {
+        let root = scratch(&format!("par-churn-w{par}"));
+        let report = mindgap_campaign::run(&grid(), &quiet(root.clone(), 2), |j| body(j, par));
+        assert!(report.failures().is_empty(), "{:?}", report.failures());
+        assert_eq!(
+            serial,
+            named_artifact_bytes(&root, "par-churn"),
+            "churn artifacts must be byte-identical at --par {par}"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+    let _ = fs::remove_dir_all(&root1);
+}
+
 #[test]
 fn panicking_job_does_not_abort_the_campaign() {
     let root = scratch("panic");
